@@ -1,0 +1,56 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered rows/series are (a) appended to ``results/benchmark_report.txt``
+*immediately* as each benchmark finishes — so a partial run still leaves
+its regenerated artifacts on disk — and (b) echoed into the pytest
+terminal summary via ``pytest_terminal_summary``, which bypasses output
+capture, so a plain ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` captures the reproduced numbers alongside the timing
+table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+_REPORT_PATH = os.path.join("results", "benchmark_report.txt")
+
+
+class FigureRecorder:
+    """Collects rendered figure/table text; flushes to disk per record."""
+
+    def record(self, name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        os.makedirs("results", exist_ok=True)
+        with open(_REPORT_PATH, "a") as fh:
+            fh.write(text + "\n\n")
+            fh.flush()
+
+
+@pytest.fixture(scope="session")
+def report() -> FigureRecorder:
+    return FigureRecorder()
+
+
+def pytest_sessionstart(session):
+    # Fresh report per benchmark session.
+    if os.path.exists(_REPORT_PATH):
+        os.remove(_REPORT_PATH)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 78)
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

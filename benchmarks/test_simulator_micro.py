@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not paper artifacts — these measure the engine and datapath throughput
+that every experiment's wall-clock time rests on, so regressions in the
+hot path show up here first.
+"""
+
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, FlowAccounting, Packet
+from repro.net.queues import DropTailFifo
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-dispatch rate of the bare event loop."""
+
+    def run_events():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.call(0.001, tick)
+
+        for __ in range(100):
+            sim.call(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark.pedantic(run_events, rounds=3, iterations=1)
+    assert events >= 100_000
+
+
+def test_datapath_packet_throughput(benchmark):
+    """Packets/second through enqueue -> serialize -> deliver."""
+
+    def run_packets():
+        sim = Simulator()
+        port = OutputPort(sim, 1e9, DropTailFifo(1000), 0.0)
+        sink = Sink(sim)
+        flow = FlowAccounting(1)
+
+        def offer(n):
+            if n <= 0:
+                return
+            flow.sent += 1
+            port.send(Packet(125, DATA, flow, [port], sink))
+            sim.call(1e-6, offer, n - 1)
+
+        offer(50_000)
+        sim.run()
+        return flow.delivered
+
+    delivered = benchmark.pedantic(run_packets, rounds=3, iterations=1)
+    assert delivered == 50_000

@@ -1,0 +1,39 @@
+"""Benchmarks: Tables 5-6 — the multi-hop (Figure 10) topology."""
+
+from repro.experiments.figures import table5, table6
+
+
+def test_table5_multihop_loss(benchmark, report):
+    result = benchmark.pedantic(table5, rounds=1, iterations=1)
+    report.record("table5", result.text)
+    data = result.data
+
+    assert "MBAC" in data
+    for label, row in data.items():
+        # Long flows cross three congested links: their loss must exceed a
+        # single hop's, roughly additively (paper: ~3x).
+        if row["short"] > 1e-4:
+            assert row["long"] > 1.3 * row["short"], label
+            assert row["long"] < 8 * row["short"], label
+
+
+def test_table6_multihop_blocking(benchmark, report):
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    report.record("table6", result.text)
+    data = result.data
+
+    # Long flows are blocked more than the single-hop classes (majority
+    # of controllers at reduced scale; each for well-sampled runs).
+    right = sum(1 for row in data.values()
+                if row["long"] > max(row["shorts"]))
+    assert right >= 4, data
+
+    # Paper: the MBAC (and the marking designs) are well modeled by the
+    # product approximation; the dropping designs discriminate more.  At
+    # reduced scale per-hop decisions are positively correlated (all hops
+    # see the same persistent load states), which drags the actual
+    # long-flow blocking below the independence prediction — allow for it.
+    mbac = data["MBAC"]
+    assert abs(mbac["long"] - mbac["product"]) < 0.3
+    drop_in = data["drop/in-band/slow-start"]
+    assert drop_in["long"] >= drop_in["product"] - 0.1

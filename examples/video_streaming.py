@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Video-on-demand admission control (the paper's Star Wars scenario).
+
+Streams synthetic VBR movies (MPEG GOP structure, heavy-tailed scenes,
+reshaped to an (800 kbps, 200 kbit) token bucket) through a 10 Mbps
+admission-controlled link.  Compares out-of-band marking — the design the
+paper found best for low loss — against an uncontrolled link at the same
+offered load, and reports what a viewer cares about: per-flow packet loss.
+
+Usage::
+
+    python examples/video_streaming.py [--duration 500] [--interarrival 8]
+"""
+
+import argparse
+
+from repro import CongestionSignal, EndpointDesign, ProbeBand, ProbingScheme
+from repro.experiments import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=500.0)
+    parser.add_argument("--interarrival", type=float, default=8.0,
+                        help="mean seconds between viewer arrivals")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    config = ScenarioConfig(
+        source="STARWARS", interarrival=args.interarrival,
+        duration=args.duration, warmup=args.duration * 0.4, seed=args.seed,
+    )
+    design = EndpointDesign(
+        signal=CongestionSignal.MARK,
+        band=ProbeBand.OUT_OF_BAND,
+        probing=ProbingScheme.SLOW_START,
+        epsilon=0.05,
+    )
+
+    print("Video streaming: synthetic Star Wars-like VBR sources "
+          "(800 kbps token rate, ~360 kbps mean)\n")
+    uncontrolled = run_scenario(config, None)
+    controlled = run_scenario(config, design)
+
+    print(f"{'':28s} {'uncontrolled':>14s} {'out-of-band mark':>17s}")
+    print(f"{'link utilization':28s} {uncontrolled.utilization:14.3f} "
+          f"{controlled.utilization:17.3f}")
+    print(f"{'packet loss probability':28s} "
+          f"{uncontrolled.loss_probability:14.2e} "
+          f"{controlled.loss_probability:17.2e}")
+    print(f"{'viewers admitted':28s} {uncontrolled.admitted:14d} "
+          f"{controlled.admitted:17d}")
+    print(f"{'viewers turned away':28s} {uncontrolled.blocked:14d} "
+          f"{controlled.blocked:17d}")
+
+    if uncontrolled.loss_probability > 0:
+        gain = uncontrolled.loss_probability / max(controlled.loss_probability,
+                                                   1e-7)
+        print(f"\nAdmission control reduced loss {gain:.0f}x by turning "
+              f"{controlled.blocked} viewers away at busy moments.")
+
+
+if __name__ == "__main__":
+    main()

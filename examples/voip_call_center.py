@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""VoIP call admission: the workload the paper's introduction motivates.
+
+A branch office trunk carries voice calls (on-off EXP1 sources are the
+classic voice model: 256 kbps talk spurts, 50% activity).  The operator
+wants Controlled-Load-like behavior — admitted calls keep low loss — with
+zero router upgrades.  Each arriving call slow-start-probes the trunk for
+5 seconds and connects only if the probe stays clean.
+
+The example also shows the thrashing hazard: at flash-crowd load, simple
+probing wastes the trunk on probe traffic while slow-start keeps admitted
+calls flowing (the paper's Figures 4-7).
+
+Usage::
+
+    python examples/voip_call_center.py [--trunk-mbps 2] [--duration 400]
+"""
+
+import argparse
+
+from repro import CongestionSignal, EndpointDesign, ProbeBand, ProbingScheme
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.units import mbps
+
+
+def report(title, result):
+    print(f"{title:34s} util={result.utilization:5.3f} "
+          f"loss={result.loss_probability:9.2e} "
+          f"blocked={result.blocking_probability:6.3f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trunk-mbps", type=float, default=2.0)
+    parser.add_argument("--duration", type=float, default=400.0)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    trunk = mbps(args.trunk_mbps)
+    base = EndpointDesign(
+        signal=CongestionSignal.DROP, band=ProbeBand.IN_BAND, epsilon=0.01,
+    )
+
+    # Normal business load: ~110% of trunk capacity offered.
+    capacity_calls = trunk / 128e3
+    normal_tau = 300.0 / (1.1 * capacity_calls)
+    normal = ScenarioConfig(source="EXP1", interarrival=normal_tau,
+                            duration=args.duration, warmup=args.duration / 2,
+                            link_rate_bps=trunk, seed=args.seed)
+    print(f"Voice trunk: {args.trunk_mbps:g} Mbps "
+          f"(~{capacity_calls:.0f} concurrent calls)\n")
+    print("Normal load (~110% offered):")
+    report("  no admission control", run_scenario(normal, None))
+    report("  probe-before-connect", run_scenario(normal, base))
+
+    # Flash crowd: 4x the arrivals.  Probing scheme now matters (thrashing).
+    crowd = ScenarioConfig(source="EXP1", interarrival=normal_tau / 4,
+                           duration=args.duration, warmup=args.duration / 2,
+                           link_rate_bps=trunk, seed=args.seed)
+    print("\nFlash crowd (4x arrivals):")
+    report("  simple 5s probes",
+           run_scenario(crowd, base.with_probing(ProbingScheme.SIMPLE)))
+    report("  slow-start probes",
+           run_scenario(crowd, base.with_probing(ProbingScheme.SLOW_START)))
+    print("\nSlow-start probing sustains higher trunk utilization under the "
+          "crowd\nby not letting probe traffic itself congest the trunk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept so the package installs in offline environments whose setuptools lacks
+the ``wheel`` package (PEP-660 editable installs need it):
+``python setup.py develop`` works everywhere.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Endpoint admission control — reproduction of Breslau et al., SIGCOMM 2000.
+
+The package implements the paper's full system: a discrete-event packet
+simulator, the router mechanisms endpoint admission control relies on
+(rate-limited priority queueing, virtual-queue ECN marking), the four
+endpoint admission control prototype designs, the Measured Sum MBAC
+benchmark, the fluid thrashing model, and a TCP Reno stack for the
+legacy-router coexistence study.
+
+Quickstart
+----------
+>>> from repro import EndpointDesign, CongestionSignal, ProbeBand
+>>> from repro.experiments import ScenarioConfig, run_scenario
+>>> design = EndpointDesign(signal=CongestionSignal.DROP,
+...                         band=ProbeBand.IN_BAND, epsilon=0.01)
+>>> result = run_scenario(ScenarioConfig(source="EXP1", interarrival=3.5,
+...                                      duration=300.0), design=design)
+"""
+
+from repro.core import (
+    ClassStats,
+    CongestionSignal,
+    EndpointAdmissionControl,
+    EndpointDesign,
+    FlowOutcome,
+    NoAdmissionControl,
+    ProbeBand,
+    ProbeShape,
+    ProbingScheme,
+    all_designs,
+)
+from repro.mbac import MeasuredSumController
+from repro.net import Network, parking_lot, single_link
+from repro.sim import RandomStreams, Simulator
+from repro.traffic import SOURCE_CATALOG, FlowClass, FlowGenerator, get_source_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassStats",
+    "CongestionSignal",
+    "EndpointAdmissionControl",
+    "EndpointDesign",
+    "FlowClass",
+    "FlowGenerator",
+    "FlowOutcome",
+    "MeasuredSumController",
+    "Network",
+    "NoAdmissionControl",
+    "ProbeBand",
+    "ProbeShape",
+    "ProbingScheme",
+    "RandomStreams",
+    "SOURCE_CATALOG",
+    "Simulator",
+    "all_designs",
+    "get_source_spec",
+    "parking_lot",
+    "single_link",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Endpoint admission control — the paper's primary contribution."""
+
+from repro.core import analysis
+from repro.core.controller import (
+    ClassStats,
+    ControllerBase,
+    EndpointAdmissionControl,
+    NoAdmissionControl,
+)
+from repro.core.design import (
+    IN_BAND_EPSILONS,
+    OUT_OF_BAND_EPSILONS,
+    PROBE_INTERVALS,
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbeShape,
+    ProbingScheme,
+    all_designs,
+)
+from repro.core.endpoint import EndpointAgent, FlowOutcome
+
+__all__ = [
+    "analysis",
+    "ClassStats",
+    "CongestionSignal",
+    "ControllerBase",
+    "EndpointAdmissionControl",
+    "EndpointAgent",
+    "EndpointDesign",
+    "FlowOutcome",
+    "IN_BAND_EPSILONS",
+    "NoAdmissionControl",
+    "OUT_OF_BAND_EPSILONS",
+    "PROBE_INTERVALS",
+    "ProbeBand",
+    "ProbeShape",
+    "ProbingScheme",
+    "all_designs",
+]

@@ -1,0 +1,252 @@
+"""Admission controllers.
+
+A controller is anything with a ``handle(request)`` method that can be used
+as the :class:`~repro.traffic.flowgen.FlowGenerator` callback.  This module
+provides the shared bookkeeping base (measurement windows, per-class
+aggregates) plus two concrete controllers:
+
+* :class:`EndpointAdmissionControl` — the paper's contribution: every flow
+  probes through an :class:`~repro.core.endpoint.EndpointAgent`.
+* :class:`NoAdmissionControl` — admits everything instantly; the
+  "DiffServ without admission control" strawman used by examples.
+
+The measurement-window machinery implements the paper's warm-up discarding
+("data for the first 2000 seconds are discarded"): call
+:meth:`ControllerBase.begin_measurement` at the warm-up boundary and all
+blocking counts restart while per-flow byte counters of already-running
+flows are baselined and subtracted at aggregation time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.design import EndpointDesign
+from repro.core.endpoint import EndpointAgent, FlowOutcome
+from repro.net.packet import FlowAccounting
+from repro.net.sink import Sink
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.flowgen import FlowRequest
+
+_COUNTER_FIELDS = ("sent", "delivered", "dropped", "marked",
+                   "bytes_sent", "bytes_delivered")
+
+
+class ClassStats:
+    """Aggregated per-class results over the measurement window."""
+
+    __slots__ = ("offered", "admitted") + _COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    @property
+    def blocked(self) -> int:
+        return self.offered - self.admitted
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of decided flows that were rejected."""
+        if self.offered == 0:
+            return 0.0
+        return self.blocked / self.offered
+
+    @property
+    def loss_probability(self) -> float:
+        """Data-packet loss fraction over the measurement window."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    def add_counters(self, counters: dict, baseline: Optional[dict] = None) -> None:
+        for name in _COUNTER_FIELDS:
+            value = counters[name]
+            if baseline is not None:
+                value -= baseline[name]
+            setattr(self, name, getattr(self, name) + value)
+
+    def merge(self, other: "ClassStats") -> None:
+        self.offered += other.offered
+        self.admitted += other.admitted
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+        out.update(
+            offered=self.offered,
+            admitted=self.admitted,
+            blocked=self.blocked,
+            blocking_probability=self.blocking_probability,
+            loss_probability=self.loss_probability,
+        )
+        return out
+
+
+class ControllerBase:
+    """Outcome recording and measurement-window bookkeeping."""
+
+    def __init__(self, sim: Simulator, network: Network, streams: RandomStreams) -> None:
+        self.sim = sim
+        self.network = network
+        self.sink = Sink(sim)
+        self._source_rng = streams.get("sources")
+        self.outcomes: List[FlowOutcome] = []
+        self._live: Dict[int, FlowOutcome] = {}
+        self._baselines: Dict[int, dict] = {}
+        self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        self.measuring = False
+        self.measure_start = 0.0
+
+    # -- subclass interface -------------------------------------------------
+
+    def handle(self, request: FlowRequest) -> None:
+        """Process one offered flow (FlowGenerator callback)."""
+        raise NotImplementedError
+
+    # -- direct admission ----------------------------------------------------
+
+    def force_admit(self, request: FlowRequest) -> FlowOutcome:
+        """Admit a flow immediately, bypassing any admission test.
+
+        Used by :class:`NoAdmissionControl` for every flow and by the
+        warm-start prefill of the experiment runner (flows assumed to have
+        been admitted before the simulation began).
+        """
+        route = self.network.route(request.cls.src, request.cls.dst)
+        outcome = FlowOutcome(
+            flow_id=request.flow_id,
+            label=request.label,
+            arrival_time=request.arrival_time,
+            epsilon=1.0,
+            admitted=True,
+            decision_time=self.sim.now,
+        )
+        data_flow = FlowAccounting(request.flow_id)
+        outcome.data = data_flow
+        source = request.spec.build(
+            self.sim, route, self.sink, data_flow, self._source_rng
+        )
+        source.start()
+        self._record_decision(outcome)
+
+        def finish() -> None:
+            source.stop()
+            outcome.end_time = self.sim.now
+            self._record_complete(outcome)
+
+        self.sim.schedule(request.lifetime, finish)
+        return outcome
+
+    # -- recording -------------------------------------------------------------
+
+    def _record_decision(self, outcome: FlowOutcome) -> None:
+        self.outcomes.append(outcome)
+        if self.measuring:
+            counts = self._decisions[outcome.label]
+            counts[0] += 1
+            if outcome.admitted:
+                counts[1] += 1
+        if outcome.admitted:
+            self._live[outcome.flow_id] = outcome
+
+    def _record_complete(self, outcome: FlowOutcome) -> None:
+        self._live.pop(outcome.flow_id, None)
+
+    # -- measurement window ------------------------------------------------
+
+    def begin_measurement(self, reset_ports: bool = True) -> None:
+        """Start the measurement window (end of warm-up).
+
+        Flows already finished are forgotten; flows still running get their
+        counters baselined so only post-warm-up packets are aggregated.
+        ``reset_ports=False`` keeps the ports' byte counters intact (used
+        when an external sampler is reading them as cumulative series).
+        """
+        self.measuring = True
+        self.measure_start = self.sim.now
+        self._decisions.clear()
+        self._baselines = {
+            flow_id: outcome.data.snapshot()
+            for flow_id, outcome in self._live.items()
+            if outcome.data is not None
+        }
+        self.outcomes = [o for o in self.outcomes if not o.completed]
+        if reset_ports:
+            self.network.reset_stats()
+
+    def class_stats(self) -> Dict[str, ClassStats]:
+        """Per-class aggregates over the measurement window."""
+        result: Dict[str, ClassStats] = defaultdict(ClassStats)
+        for label, (offered, admitted) in self._decisions.items():
+            stats = result[label]
+            stats.offered = offered
+            stats.admitted = admitted
+        for outcome in self.outcomes:
+            if outcome.data is None:
+                continue
+            result[outcome.label].add_counters(
+                outcome.data.snapshot(), self._baselines.get(outcome.flow_id)
+            )
+        return dict(result)
+
+    def totals(self) -> ClassStats:
+        """All classes merged."""
+        merged = ClassStats()
+        for stats in self.class_stats().values():
+            merged.merge(stats)
+        return merged
+
+    @property
+    def live_flows(self) -> int:
+        """Number of flows currently in their data phase."""
+        return len(self._live)
+
+
+class EndpointAdmissionControl(ControllerBase):
+    """Endpoint admission control: probe first, then send.
+
+    Parameters
+    ----------
+    sim, network:
+        Engine and topology.
+    design:
+        The :class:`~repro.core.design.EndpointDesign` every flow uses.
+    streams:
+        RNG family; data sources share the ``"sources"`` stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        design: EndpointDesign,
+        streams: RandomStreams,
+    ) -> None:
+        super().__init__(sim, network, streams)
+        self.design = design
+
+    def handle(self, request: FlowRequest) -> None:
+        route = self.network.route(request.cls.src, request.cls.dst)
+        agent = EndpointAgent(
+            self.sim, request, self.design, route, self.sink,
+            self._source_rng, self._record_decision, self._record_complete,
+        )
+        agent.begin()
+
+
+class NoAdmissionControl(ControllerBase):
+    """Admit every flow immediately, with no probing.
+
+    This is the unprotected service class the paper's introduction warns
+    about: under overload, every admitted flow degrades.
+    """
+
+    def handle(self, request: FlowRequest) -> None:
+        self.force_admit(request)

@@ -1,0 +1,221 @@
+"""The endpoint-admission-control design space.
+
+The paper reduces the architectural choices to two axes (Section 2 / 3.1):
+
+* **congestion signal** — packet drops or ECN-style marks from a virtual
+  queue running at 90% of the service rate;
+* **probe band** — in-band (probes share the data packets' priority) or
+  out-of-band (probes ride a lower priority level and are pushed out by
+  data when the buffer fills);
+
+plus a choice of **probing scheme** — simple, early-reject, or slow-start —
+and the acceptance threshold ``epsilon``.
+
+:class:`EndpointDesign` bundles one point in that space and knows how to
+build the router queueing discipline that the design requires, so an
+experiment only ever configures the design object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+from repro.errors import ConfigurationError
+from repro.net.packet import PRIO_DATA, PRIO_PROBE
+from repro.net.queues import DropTailFifo, RedFifo, TwoLevelPriorityQueue
+from repro.net.vq import VirtualQueue
+
+
+class CongestionSignal(enum.Enum):
+    """How the network tells a probe about congestion."""
+
+    DROP = "drop"
+    MARK = "mark"
+
+
+class ProbeBand(enum.Enum):
+    """Which priority level probe packets travel in."""
+
+    IN_BAND = "in-band"
+    OUT_OF_BAND = "out-of-band"
+
+
+class ProbingScheme(enum.Enum):
+    """The host's probing algorithm (Section 3.1)."""
+
+    SIMPLE = "simple"
+    EARLY_REJECT = "early-reject"
+    SLOW_START = "slow-start"
+
+
+class ProbeShape(enum.Enum):
+    """How the probe stream uses the declared (r, b) token bucket.
+
+    Section 3.1: the default probes smoothly at ``r`` ("do not take the
+    bucket size b into account"); the paper sketches two refinements —
+    bursts of ``b`` bytes separated by ``b/r`` quiescent gaps, or a smooth
+    probe at an effective peak rate that is a function of r and b.
+    """
+
+    SMOOTH = "smooth"
+    BURSTY = "bursty"
+    EFFECTIVE_RATE = "effective-rate"
+
+
+#: epsilon values the paper sweeps for in-band designs.
+IN_BAND_EPSILONS = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
+#: epsilon values the paper sweeps for out-of-band designs.
+OUT_OF_BAND_EPSILONS = (0.0, 0.05, 0.10, 0.15, 0.20)
+
+#: Virtual queues run at this fraction of the real rate (paper Section 3.1).
+VIRTUAL_QUEUE_FRACTION = 0.9
+
+#: Number of probe intervals; slow-start doubles the rate across them and
+#: early-reject checks the loss fraction at each boundary.
+PROBE_INTERVALS = 5
+
+
+@dataclass(frozen=True)
+class EndpointDesign:
+    """One endpoint admission control design.
+
+    Attributes
+    ----------
+    signal, band, probing:
+        The three axes described above.
+    epsilon:
+        Default acceptance threshold (flow classes may override it).
+    probe_duration:
+        Total probing time in seconds (paper default: 5 s; Figure 3 uses 25).
+    settle_time:
+        Grace period after the last probe packet before the decision is
+        taken, letting in-flight probes reach the receiver.
+    vq_fraction:
+        Virtual-queue rate fraction for marking designs.
+    """
+
+    signal: CongestionSignal = CongestionSignal.DROP
+    band: ProbeBand = ProbeBand.IN_BAND
+    probing: ProbingScheme = ProbingScheme.SLOW_START
+    epsilon: float = 0.0
+    probe_duration: float = 5.0
+    settle_time: float = 0.1
+    vq_fraction: float = VIRTUAL_QUEUE_FRACTION
+    #: Queue discipline of the AC class: "drop-tail" (paper's choice) or
+    #: "red" (the footnote-11 alternative; in-band designs only).
+    queue_discipline: str = "drop-tail"
+    #: Halt a hopeless simple probe as soon as its loss budget is spent
+    #: (paper Section 3.1); disable for the ablation benchmark.
+    early_abort: bool = True
+    #: How the probe stream reflects the declared token bucket (Section
+    #: 3.1's optional refinements; the paper's simulations use SMOOTH).
+    probe_shape: ProbeShape = ProbeShape.SMOOTH
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in [0, 1), got {self.epsilon!r}"
+            )
+        if self.probe_duration <= 0:
+            raise ConfigurationError(
+                f"probe duration must be positive, got {self.probe_duration!r}"
+            )
+        if self.settle_time < 0:
+            raise ConfigurationError(
+                f"settle time must be non-negative, got {self.settle_time!r}"
+            )
+        if self.queue_discipline not in ("drop-tail", "red"):
+            raise ConfigurationError(
+                f"queue_discipline must be 'drop-tail' or 'red', "
+                f"got {self.queue_discipline!r}"
+            )
+        if self.queue_discipline == "red" and self.band is not ProbeBand.IN_BAND:
+            raise ConfigurationError(
+                "RED is only supported for in-band designs (the out-of-band "
+                "two-level priority queue is drop-tail with push-out)"
+            )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def probe_prio(self) -> int:
+        """Priority level probe packets travel in."""
+        return PRIO_DATA if self.band is ProbeBand.IN_BAND else PRIO_PROBE
+
+    @property
+    def name(self) -> str:
+        """Readable design label, e.g. ``"drop/in-band/slow-start"``."""
+        return f"{self.signal.value}/{self.band.value}/{self.probing.value}"
+
+    @property
+    def default_epsilons(self) -> tuple:
+        """The paper's epsilon sweep for this design's band."""
+        if self.band is ProbeBand.IN_BAND:
+            return IN_BAND_EPSILONS
+        return OUT_OF_BAND_EPSILONS
+
+    def with_epsilon(self, epsilon: float) -> "EndpointDesign":
+        """Copy of this design at a different threshold."""
+        return replace(self, epsilon=epsilon)
+
+    def with_probing(self, probing: ProbingScheme) -> "EndpointDesign":
+        """Copy of this design with a different probing scheme."""
+        return replace(self, probing=probing)
+
+    # -- router support ------------------------------------------------------
+
+    def qdisc_factory(
+        self, rate_bps: float, buffer_packets: int = 200
+    ) -> Callable[[], object]:
+        """Factory building the queueing discipline this design needs.
+
+        * in-band designs: a drop-tail FIFO (marking adds a virtual queue);
+        * out-of-band designs: the two-level priority queue with data
+          push-out (marking adds per-level virtual queues, the probe level's
+          observing all AC arrivals).
+        """
+        signal, band = self.signal, self.band
+        buffer_bytes = buffer_packets * 125  # VQ buffer in bytes, 125 B packets
+        use_red = self.queue_discipline == "red"
+
+        def build() -> object:
+            if band is ProbeBand.IN_BAND:
+                marker = None
+                if signal is CongestionSignal.MARK:
+                    marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)
+                if use_red:
+                    import numpy as np
+
+                    return RedFifo(
+                        buffer_packets, rate_bps, np.random.default_rng(0xED),
+                        marker=marker,
+                    )
+                return DropTailFifo(buffer_packets, marker=marker)
+            data_marker = probe_marker = None
+            if signal is CongestionSignal.MARK:
+                data_marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)
+                probe_marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)
+            return TwoLevelPriorityQueue(
+                buffer_packets, data_marker=data_marker, probe_marker=probe_marker
+            )
+
+        return build
+
+
+def all_designs(
+    probing: ProbingScheme = ProbingScheme.SLOW_START,
+    probe_duration: float = 5.0,
+) -> List[EndpointDesign]:
+    """The paper's four prototype designs, in presentation order."""
+    return [
+        EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND, probing,
+                       probe_duration=probe_duration),
+        EndpointDesign(CongestionSignal.DROP, ProbeBand.OUT_OF_BAND, probing,
+                       probe_duration=probe_duration),
+        EndpointDesign(CongestionSignal.MARK, ProbeBand.IN_BAND, probing,
+                       probe_duration=probe_duration),
+        EndpointDesign(CongestionSignal.MARK, ProbeBand.OUT_OF_BAND, probing,
+                       probe_duration=probe_duration),
+    ]

@@ -1,0 +1,261 @@
+"""The endpoint agent: probe, decide, then send.
+
+One :class:`EndpointAgent` shepherds one flow through the endpoint
+admission control state machine:
+
+``PROBING`` — a constant-rate probe stream at the flow's token rate ``r``
+(slow-start begins at ``r/16`` and doubles every interval), sent at the
+design's probe priority, while the receiver-side accounting counts drops
+and ECN marks;
+
+``DECIDING`` — after the probe (plus a short settle time for in-flight
+packets) the measured congestion fraction is compared against ``epsilon``;
+
+``DATA`` — an admitted flow instantiates its real traffic source and runs
+for its exponential lifetime; a rejected flow simply ends (the paper's
+"rejected flows do not retry").
+
+Early termination follows the paper exactly: simple probing aborts as soon
+as the observed losses guarantee the final fraction will exceed epsilon
+("once 51 packets are dropped the probing is halted"), early-reject and
+slow-start check the loss fraction of each interval at its boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.design import (
+    PROBE_INTERVALS,
+    CongestionSignal,
+    EndpointDesign,
+    ProbeShape,
+    ProbingScheme,
+)
+from repro.net.packet import PROBE, FlowAccounting
+from repro.sim.engine import EventHandle, Simulator
+from repro.traffic.base import Source
+from repro.traffic.cbr import ConstantRateSource
+from repro.traffic.flowgen import FlowRequest
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass
+class FlowOutcome:
+    """The record a flow leaves behind.
+
+    ``data`` is the accounting object of the data phase (None when the flow
+    was rejected); ``end_time`` is None while the data phase is still
+    running.
+    """
+
+    flow_id: int
+    label: str
+    arrival_time: float
+    epsilon: float
+    admitted: bool = False
+    decision_time: float = math.nan
+    probe: dict = field(default_factory=dict)
+    probe_fraction: float = math.nan
+    data: Optional[FlowAccounting] = None
+    end_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the data phase ended (or the flow was rejected)."""
+        return self.end_time is not None or not self.admitted
+
+
+class EndpointAgent:
+    """Drives one flow through probe → decision → data."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        request: FlowRequest,
+        design: EndpointDesign,
+        route: List,
+        sink,
+        data_rng: np.random.Generator,
+        on_decision: Callable[[FlowOutcome], None],
+        on_complete: Callable[[FlowOutcome], None],
+    ) -> None:
+        self.sim = sim
+        self.request = request
+        self.design = design
+        self.route = route
+        self.sink = sink
+        self.data_rng = data_rng
+        self.on_decision = on_decision
+        self.on_complete = on_complete
+
+        cls_eps = request.cls.epsilon
+        self.epsilon = design.epsilon if cls_eps is None else cls_eps
+
+        spec = request.spec
+        self.outcome = FlowOutcome(
+            flow_id=request.flow_id,
+            label=request.label,
+            arrival_time=request.arrival_time,
+            epsilon=self.epsilon,
+        )
+
+        # Probe plan: per-interval rates and total planned packet count.
+        self._interval_len = design.probe_duration / PROBE_INTERVALS
+        if design.probing is ProbingScheme.SLOW_START:
+            self._rates = [
+                spec.token_rate_bps / 2 ** (PROBE_INTERVALS - 1 - k)
+                for k in range(PROBE_INTERVALS)
+            ]
+        else:
+            self._rates = [spec.token_rate_bps] * PROBE_INTERVALS
+        if design.probe_shape is ProbeShape.EFFECTIVE_RATE:
+            # Probe at the bucket-aware effective peak rate r + b/T.
+            from repro.traffic.burst import effective_probe_rate
+
+            factor = effective_probe_rate(
+                spec.token_rate_bps, spec.token_bucket_bytes,
+                design.probe_duration,
+            ) / spec.token_rate_bps
+            self._rates = [rate * factor for rate in self._rates]
+        packet_bits = spec.packet_bytes * BITS_PER_BYTE
+        self._planned_packets = sum(
+            int(rate * self._interval_len / packet_bits) for rate in self._rates
+        )
+
+        self.probe_flow = FlowAccounting(request.flow_id)
+        if design.probe_shape is ProbeShape.BURSTY:
+            from repro.traffic.burst import BurstProbeSource
+
+            self._probe_source: Source = BurstProbeSource(
+                sim, route, sink, self.probe_flow, self._rates[0],
+                spec.token_bucket_bytes, spec.packet_bytes,
+                kind=PROBE, prio=design.probe_prio,
+            )
+        else:
+            self._probe_source = ConstantRateSource(
+                sim, route, sink, self.probe_flow, self._rates[0],
+                spec.packet_bytes, kind=PROBE, prio=design.probe_prio,
+            )
+        self._interval_index = 0
+        self._interval_base_sent = 0
+        self._interval_base_bad = 0
+        self._decided = False
+        self._checkpoint: Optional[EventHandle] = None
+        self.data_source: Optional[Source] = None
+
+        # Simple probing aborts once the loss budget is exhausted: more than
+        # floor(eps * planned) congested packets can no longer average out.
+        if design.probing is ProbingScheme.SIMPLE and design.early_abort:
+            self._abort_budget = int(math.floor(self.epsilon * self._planned_packets))
+            self.probe_flow.drop_hook = self._check_budget
+            if design.signal is CongestionSignal.MARK:
+                self.probe_flow.mark_hook = self._check_budget
+        else:
+            self._abort_budget = None
+
+    # -- congestion bookkeeping ---------------------------------------------
+
+    def _bad_count(self) -> int:
+        """Congestion events so far: drops, plus marks for marking designs."""
+        flow = self.probe_flow
+        if self.design.signal is CongestionSignal.MARK:
+            return flow.dropped + flow.marked
+        return flow.dropped
+
+    def _check_budget(self) -> None:
+        if self._decided:
+            return
+        if self._bad_count() > self._abort_budget:
+            self._reject()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start probing (called once, at flow arrival)."""
+        self._probe_source.start()
+        self._checkpoint = self.sim.schedule(self._interval_len, self._interval_end)
+
+    def _interval_end(self) -> None:
+        if self._decided:
+            return
+        design = self.design
+        flow = self.probe_flow
+        sent = flow.sent - self._interval_base_sent
+        bad = self._bad_count() - self._interval_base_bad
+        if design.probing in (ProbingScheme.EARLY_REJECT, ProbingScheme.SLOW_START):
+            fraction = bad / sent if sent else 0.0
+            if fraction > self.epsilon:
+                self._reject()
+                return
+        self._interval_base_sent = flow.sent
+        self._interval_base_bad = self._bad_count()
+        self._interval_index += 1
+        if self._interval_index >= PROBE_INTERVALS:
+            self._probe_source.stop()
+            self._checkpoint = self.sim.schedule(design.settle_time, self._final_decision)
+            return
+        if design.probing is ProbingScheme.SLOW_START:
+            self._probe_source.set_rate(self._rates[self._interval_index])
+        self._checkpoint = self.sim.schedule(self._interval_len, self._interval_end)
+
+    def _final_decision(self) -> None:
+        if self._decided:
+            return
+        flow = self.probe_flow
+        fraction = self._bad_count() / flow.sent if flow.sent else 0.0
+        if self.design.probing is ProbingScheme.SIMPLE:
+            admitted = fraction <= self.epsilon
+        else:
+            # Interval schemes already rejected bad intervals; the final
+            # interval was checked at its boundary, so surviving means admit.
+            admitted = True
+        if admitted:
+            self._admit(fraction)
+        else:
+            self._reject()
+
+    def _settle(self) -> None:
+        self._decided = True
+        self._probe_source.stop()
+        if self._checkpoint is not None:
+            self._checkpoint.cancel()
+            self._checkpoint = None
+        flow = self.probe_flow
+        flow.drop_hook = None
+        flow.mark_hook = None
+        self.outcome.decision_time = self.sim.now
+        self.outcome.probe = flow.snapshot()
+        self.outcome.probe_fraction = (
+            self._bad_count() / flow.sent if flow.sent else 0.0
+        )
+
+    def _reject(self) -> None:
+        self._settle()
+        self.outcome.admitted = False
+        self.outcome.end_time = self.sim.now
+        self.on_decision(self.outcome)
+        self.on_complete(self.outcome)
+
+    def _admit(self, fraction: float) -> None:
+        self._settle()
+        outcome = self.outcome
+        outcome.admitted = True
+        data_flow = FlowAccounting(self.request.flow_id)
+        outcome.data = data_flow
+        self.data_source = self.request.spec.build(
+            self.sim, self.route, self.sink, data_flow, self.data_rng
+        )
+        self.data_source.start()
+        self.sim.schedule(self.request.lifetime, self._data_done)
+        self.on_decision(outcome)
+
+    def _data_done(self) -> None:
+        if self.data_source is not None:
+            self.data_source.stop()
+        self.outcome.end_time = self.sim.now
+        self.on_complete(self.outcome)

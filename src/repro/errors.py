@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while letting
+genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, design, or component was configured with invalid values."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (unknown node, no route, duplicate link...)."""
+
+
+class ModelError(ReproError):
+    """An analytic model (fluid/Markov) was given parameters it cannot solve."""

@@ -1,0 +1,49 @@
+"""Experiment harness: scenarios, runners, loss-load sweeps, figures, CLI."""
+
+from repro.experiments.cache import cached_replications, cached_run, clear_cache
+from repro.experiments.lossload import (
+    LossLoadCurve,
+    LossLoadPoint,
+    eac_loss_load_curve,
+    mbac_loss_load_curve,
+)
+from repro.experiments.runner import (
+    MbacConfig,
+    ReplicatedResult,
+    ScenarioConfig,
+    ScenarioResult,
+    run_replications,
+    run_scenario,
+)
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    default_scale,
+    get_scenario,
+    heterogeneous_classes,
+    scaled_seeds,
+    scaled_times,
+)
+
+__all__ = [
+    "LossLoadCurve",
+    "LossLoadPoint",
+    "MbacConfig",
+    "ReplicatedResult",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "cached_replications",
+    "cached_run",
+    "clear_cache",
+    "default_scale",
+    "eac_loss_load_curve",
+    "get_scenario",
+    "heterogeneous_classes",
+    "mbac_loss_load_curve",
+    "run_replications",
+    "run_scenario",
+    "scaled_seeds",
+    "scaled_times",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.experiments`` as an alias for ``repro-eac``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Reusable harnesses for the architectural ablations of Section 2.
+
+These are small, direct simulations (no flow generator, no admission
+controller) that isolate one mechanism at a time; both the integration
+tests and the ablation benchmarks drive them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.link import OutputPort
+from repro.net.packet import FlowAccounting
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import ConstantRateSource
+from repro.units import kbps, mbps
+
+
+def stolen_bandwidth_demo(
+    qdisc,
+    link_rate: float = mbps(1),
+    large_rate: float = kbps(512),
+    small_rate: float = kbps(128),
+    n_small: int = 6,
+    crowd_arrival: float = 10.0,
+    horizon: float = 30.0,
+) -> Tuple[float, List[float]]:
+    """The Section 2.1.1 two-rate-group construction.
+
+    One large flow holds an initially idle link; a crowd of small flows
+    arrives later.  Returns the large flow's loss fraction *measured after
+    the crowd arrives* and each small flow's overall loss fraction.
+
+    Under Fair Queueing, the small flows' fair shares stay clean (each
+    would pass a probe) while the large flow loses most of its traffic —
+    the "stolen bandwidth" that rules FQ out for admission-controlled
+    traffic.  Under FIFO the same overload is spread across everyone.
+    """
+    sim = Simulator()
+    port = OutputPort(sim, link_rate, qdisc, 0.0, name="bottleneck")
+    sink = Sink(sim)
+
+    large = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, large, large_rate, 125).start()
+
+    small_flows = []
+    for i in range(n_small):
+        flow = FlowAccounting(10 + i)
+        src = ConstantRateSource(sim, [port], sink, flow, small_rate, 125)
+        sim.schedule_at(crowd_arrival, src.start)
+        small_flows.append(flow)
+
+    baseline = {}
+
+    def snapshot() -> None:
+        baseline["sent"] = large.sent
+        baseline["dropped"] = large.dropped
+
+    sim.schedule_at(crowd_arrival, snapshot)
+    sim.run(until=horizon)
+
+    sent_after = max(large.sent - baseline["sent"], 1)
+    large_loss = (large.dropped - baseline["dropped"]) / sent_after
+    return large_loss, [f.loss_fraction for f in small_flows]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``repro-eac`` / ``python -m repro.experiments.cli``.
+
+Subcommands::
+
+    repro-eac list                      # scenarios, designs, experiments
+    repro-eac run basic --design drop/in-band --epsilon 0.01 --scale 0.02
+    repro-eac figure figure2 --scale 0.02
+    repro-eac figure table5 figure9 --scale 0.05
+
+The ``figure`` subcommand accepts any experiment name from DESIGN.md's
+index (figure1..figure9, figure11, table3..table6) and prints the
+regenerated rows/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+    all_designs,
+)
+from repro.errors import ReproError
+from repro.experiments import figures
+from repro.experiments.runner import MbacConfig, run_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario
+
+#: Experiment registry for the ``figure`` subcommand.
+EXPERIMENTS = {
+    "figure1": figures.figure1,
+    "figure2": figures.figure2,
+    "figure3": figures.figure3,
+    "figure4": figures.figure4,
+    "figure5": figures.figure5,
+    "figure6": figures.figure6,
+    "figure7": figures.figure7,
+    "figure8": figures.figure8,
+    "figure9": figures.figure9,
+    "figure11": figures.figure11,
+    "table3": figures.table3,
+    "table4": figures.table4,
+    "table5": figures.table5,
+    "table6": figures.table6,
+}
+
+
+def parse_design(text: str, epsilon: float, probing: str) -> EndpointDesign:
+    """Parse ``signal/band`` (e.g. ``drop/in-band``) into a design."""
+    try:
+        signal_text, band_text = text.split("/", 1)
+        signal = CongestionSignal(signal_text)
+        band = ProbeBand(band_text)
+        scheme = ProbingScheme(probing)
+    except ValueError as exc:
+        raise ReproError(
+            f"bad design {text!r} (want e.g. 'drop/in-band', "
+            f"'mark/out-of-band'): {exc}"
+        ) from None
+    return EndpointDesign(signal, band, scheme, epsilon=epsilon)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Scenarios (Table 2):")
+    for name, spec in SCENARIOS.items():
+        print(f"  {name:15s} {spec.description}  [{spec.figure}]")
+    print("\nDesigns:")
+    for design in all_designs():
+        print(f"  {design.signal.value}/{design.band.value}")
+    print("  (probing schemes: simple, early-reject, slow-start)")
+    print("\nExperiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = get_scenario(args.scenario).config(args.scale, seed=args.seed)
+    if args.mbac is not None:
+        spec = MbacConfig(target_utilization=args.mbac)
+    elif args.design is not None:
+        spec = parse_design(args.design, args.epsilon, args.probing)
+    else:
+        spec = None
+    result = run_scenario(config, spec)
+    print(f"controller : {result.controller_name}")
+    print(f"utilization: {result.utilization:.4f}")
+    print(f"loss prob  : {result.loss_probability:.3e}")
+    print(f"blocking   : {result.blocking_probability:.4f} "
+          f"({result.blocked}/{result.offered})")
+    for label, stats in sorted(result.per_class.items()):
+        print(f"  class {label}: blocking={stats['blocking_probability']:.4f} "
+              f"loss={stats['loss_probability']:.3e}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    for name in args.names:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            known = ", ".join(EXPERIMENTS)
+            raise ReproError(f"unknown experiment {name!r}; known: {known}")
+        result = fn(scale=args.scale) if name != "figure1" else fn()
+        print(result.text)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eac",
+        description="Endpoint admission control (SIGCOMM 2000) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenarios, designs and experiments")
+
+    run_p = sub.add_parser("run", help="run one scenario under one controller")
+    run_p.add_argument("scenario", help="scenario name (see 'list')")
+    run_p.add_argument("--design", help="signal/band, e.g. drop/in-band")
+    run_p.add_argument("--probing", default="slow-start",
+                       help="simple | early-reject | slow-start")
+    run_p.add_argument("--epsilon", type=float, default=0.01)
+    run_p.add_argument("--mbac", type=float, default=None,
+                       help="run the MBAC benchmark at this target utilization")
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="run scale in (0, 1]; default from REPRO_SCALE")
+    run_p.add_argument("--seed", type=int, default=1)
+
+    fig_p = sub.add_parser("figure", help="regenerate paper tables/figures")
+    fig_p.add_argument("names", nargs="+", help="experiment names (see 'list')")
+    fig_p.add_argument("--scale", type=float, default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "figure": _cmd_figure}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

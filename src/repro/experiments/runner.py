@@ -1,0 +1,316 @@
+"""Build-and-run machinery for one simulation.
+
+:func:`run_scenario` assembles a topology, an admission controller, and a
+flow generator from a :class:`ScenarioConfig`, runs the event loop with a
+warm-up measurement window, and returns a :class:`ScenarioResult` with the
+quantities the paper reports: utilization of the allocated share (data
+packets only), data-packet loss probability, and per-class blocking
+probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.controller import (
+    ClassStats,
+    ControllerBase,
+    EndpointAdmissionControl,
+    NoAdmissionControl,
+)
+from repro.core.design import EndpointDesign
+from repro.errors import ConfigurationError
+from repro.mbac.measured_sum import MeasuredSumController
+from repro.net.queues import DropTailFifo
+from repro.net.topology import Network, parking_lot, single_link
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import get_source_spec
+from repro.traffic.flowgen import FlowClass, FlowGenerator, FlowRequest
+from repro.units import mbps
+
+
+@dataclass(frozen=True)
+class MbacConfig:
+    """Configuration of the Measured Sum benchmark controller.
+
+    ``target_utilization`` is the loss-load sweep parameter.
+    """
+
+    target_utilization: float = 0.9
+    sample_period: float = 0.1
+    window_samples: int = 10
+
+    @property
+    def name(self) -> str:
+        return f"mbac(u={self.target_utilization:g})"
+
+
+#: What drives admission for a scenario: an endpoint design, the MBAC
+#: benchmark, or nothing (admit all).
+ControllerSpec = Union[EndpointDesign, MbacConfig, None]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One simulation scenario (a row of the paper's Table 2).
+
+    Either give ``source`` (a Table-1 catalog name; a single class is built
+    from it) or ``classes`` (explicit :class:`FlowClass` mix for
+    heterogeneous scenarios and multi-hop topologies).
+    """
+
+    source: str = "EXP1"
+    classes: Optional[Sequence[FlowClass]] = None
+    interarrival: float = 3.5
+    link_rate_bps: float = mbps(10)
+    buffer_packets: int = 200
+    prop_delay: float = 0.020
+    duration: float = 1400.0
+    warmup: float = 200.0
+    lifetime_mean: float = 300.0
+    seed: int = 1
+    topology: str = "single"
+    backbone_links: int = 3
+    prefill: bool = True
+    prefill_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.duration <= self.warmup:
+            raise ConfigurationError(
+                f"duration {self.duration!r} must exceed warmup {self.warmup!r}"
+            )
+        if self.topology not in ("single", "parking-lot"):
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; use 'single' or 'parking-lot'"
+            )
+        if self.classes is not None and not isinstance(self.classes, tuple):
+            # Freeze so configs are hashable (the run cache keys on them).
+            object.__setattr__(self, "classes", tuple(self.classes))
+
+    def resolve_classes(self) -> List[FlowClass]:
+        """The flow-class mix this scenario offers."""
+        if self.classes is not None:
+            return list(self.classes)
+        spec = get_source_spec(self.source)
+        return [FlowClass(label=spec.name, spec=spec)]
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class ScenarioResult:
+    """Measured outputs of one run (post-warm-up window only)."""
+
+    controller_name: str
+    seed: int
+    utilization: float
+    loss_probability: float
+    blocking_probability: float
+    offered: int
+    admitted: int
+    per_class: Dict[str, dict] = field(default_factory=dict)
+    per_link_utilization: List[float] = field(default_factory=list)
+    per_link_loss: List[float] = field(default_factory=list)
+    probe_utilization: float = 0.0
+    events: int = 0
+    sim_seconds: float = 0.0
+
+    @property
+    def blocked(self) -> int:
+        return self.offered - self.admitted
+
+
+def _controller_name(spec: ControllerSpec) -> str:
+    if spec is None:
+        return "no-admission-control"
+    return spec.name
+
+
+def build_controller(
+    sim: Simulator,
+    network: Network,
+    streams: RandomStreams,
+    spec: ControllerSpec,
+) -> ControllerBase:
+    """Instantiate the controller a :data:`ControllerSpec` describes."""
+    if spec is None:
+        return NoAdmissionControl(sim, network, streams)
+    if isinstance(spec, EndpointDesign):
+        return EndpointAdmissionControl(sim, network, spec, streams)
+    if isinstance(spec, MbacConfig):
+        return MeasuredSumController(
+            sim, network, streams,
+            target_utilization=spec.target_utilization,
+            sample_period=spec.sample_period,
+            window_samples=spec.window_samples,
+        )
+    raise ConfigurationError(f"unknown controller spec {spec!r}")
+
+
+def _prefill(
+    sim: Simulator,
+    streams: RandomStreams,
+    controller,
+    classes: List[FlowClass],
+    config: ScenarioConfig,
+) -> None:
+    """Warm-start: populate the link with an estimate of steady-state flows.
+
+    Flow occupancy relaxes with the mean-lifetime time constant (300 s), so
+    starting from an empty link needs a very long warm-up.  Seeding the run
+    with roughly the steady-state number of already-admitted flows — the
+    smaller of the offered load and ``prefill_fraction`` of capacity — cuts
+    the residual transient to a fraction of one lifetime.  Lifetimes are
+    exponential, hence memoryless: fresh draws are exactly the stationary
+    residual-lifetime law, so the prefilled population is statistically
+    indistinguishable from flows admitted long ago.
+    """
+    rng = streams.get("prefill")
+    total_weight = sum(c.weight for c in classes)
+    mean_rate = sum(
+        c.weight / total_weight * c.spec.average_rate_bps for c in classes
+    )
+    offered_flows = config.lifetime_mean / config.interarrival
+    capacity_flows = config.prefill_fraction * config.link_rate_bps / mean_rate
+    target = min(offered_flows, capacity_flows)
+    next_id = -1
+    for cls in classes:
+        count = int(round(target * cls.weight / total_weight))
+        for __ in range(count):
+            request = FlowRequest(
+                flow_id=next_id,
+                cls=cls,
+                arrival_time=0.0,
+                lifetime=float(rng.exponential(config.lifetime_mean)),
+            )
+            next_id -= 1
+            controller.force_admit(request)
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    design: ControllerSpec = None,
+) -> ScenarioResult:
+    """Run one scenario under one admission controller.
+
+    ``design`` may be an :class:`EndpointDesign`, an :class:`MbacConfig`,
+    or ``None`` (no admission control).
+    """
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+
+    if isinstance(design, EndpointDesign):
+        qdisc_factory = design.qdisc_factory(config.link_rate_bps, config.buffer_packets)
+    else:
+        def qdisc_factory() -> DropTailFifo:
+            return DropTailFifo(config.buffer_packets)
+
+    if config.topology == "single":
+        network, bottleneck = single_link(
+            sim, config.link_rate_bps, qdisc_factory, config.prop_delay
+        )
+        congested = [bottleneck]
+    else:
+        network, congested = parking_lot(
+            sim, config.link_rate_bps, qdisc_factory, config.prop_delay,
+            backbone_links=config.backbone_links,
+        )
+
+    controller = build_controller(sim, network, streams, design)
+    classes = config.resolve_classes()
+    generator = FlowGenerator(
+        sim, streams, classes, config.interarrival,
+        controller.handle, lifetime_mean=config.lifetime_mean,
+    )
+    if config.prefill:
+        _prefill(sim, streams, controller, classes, config)
+    generator.start()
+
+    sim.schedule_at(config.warmup, controller.begin_measurement)
+    sim.run(until=config.duration)
+
+    now = sim.now
+    totals = controller.totals()
+    per_link_util = [p.stats.utilization(p.rate_bps, now) for p in congested]
+    per_link_loss = []
+    for port in congested:
+        # Whole-link drop fraction (all kinds: data + probes) over the full
+        # run — a coarse per-hop congestion indicator; per-class data loss
+        # comes from the controller's class stats.
+        qdisc = port.qdisc
+        drops = getattr(qdisc, "drops", 0)
+        enqueued = getattr(qdisc, "enqueued", 0)
+        arrived = drops + enqueued
+        per_link_loss.append(drops / arrived if arrived else 0.0)
+
+    probe_util = 0.0
+    if congested:
+        port = congested[0]
+        elapsed = now - port.stats.since
+        if elapsed > 0:
+            probe_util = port.stats.probe_bytes * 8 / (port.rate_bps * elapsed)
+
+    return ScenarioResult(
+        controller_name=_controller_name(design),
+        seed=config.seed,
+        utilization=sum(per_link_util) / len(per_link_util) if per_link_util else 0.0,
+        loss_probability=totals.loss_probability,
+        blocking_probability=totals.blocking_probability,
+        offered=totals.offered,
+        admitted=totals.admitted,
+        per_class={label: stats.as_dict() for label, stats in controller.class_stats().items()},
+        per_link_utilization=per_link_util,
+        per_link_loss=per_link_loss,
+        probe_utilization=probe_util,
+        events=sim.events_processed,
+        sim_seconds=now,
+    )
+
+
+@dataclass
+class ReplicatedResult:
+    """Mean of several seeds, with the per-seed results retained."""
+
+    controller_name: str
+    utilization: float
+    loss_probability: float
+    blocking_probability: float
+    runs: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> List[int]:
+        return [r.seed for r in self.runs]
+
+    def class_mean(self, label: str, key: str) -> float:
+        """Mean of one per-class metric across seeds (0.0 if class absent)."""
+        values = [run.per_class[label][key] for run in self.runs if label in run.per_class]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def run_replications(
+    config: ScenarioConfig,
+    design: ControllerSpec = None,
+    seeds: Sequence[int] = (1,),
+) -> ReplicatedResult:
+    """Run the scenario once per seed and average the headline metrics.
+
+    The paper averages 7 seeds; the default here is a single seed — pass
+    more for paper-grade smoothing.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    runs = [run_scenario(config.with_seed(seed), design) for seed in seeds]
+    n = len(runs)
+    return ReplicatedResult(
+        controller_name=runs[0].controller_name,
+        utilization=sum(r.utilization for r in runs) / n,
+        loss_probability=sum(r.loss_probability for r in runs) / n,
+        blocking_probability=sum(r.blocking_probability for r in runs) / n,
+        runs=runs,
+    )

@@ -1,0 +1,17 @@
+"""Fluid/Markov analysis of probing thrashing (paper Section 2.2.3)."""
+
+from repro.fluid.markov import MarkovChain
+from repro.fluid.model import (
+    FluidModelConfig,
+    FluidPoint,
+    FluidThrashingModel,
+    figure1_series,
+)
+
+__all__ = [
+    "FluidModelConfig",
+    "FluidPoint",
+    "FluidThrashingModel",
+    "MarkovChain",
+    "figure1_series",
+]

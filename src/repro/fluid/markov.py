@@ -1,0 +1,98 @@
+"""Generic truncated continuous-time Markov chain solver.
+
+States are arbitrary hashable objects; transitions are given by a callback
+returning ``(next_state, rate)`` pairs.  The stationary distribution of the
+truncated chain is found by solving ``pi Q = 0`` with the normalization
+``sum(pi) = 1`` as a sparse linear system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import ModelError
+
+TransitionFn = Callable[[Hashable], Iterable[Tuple[Hashable, float]]]
+
+
+class MarkovChain:
+    """A finite CTMC built by exploring reachable states.
+
+    Parameters
+    ----------
+    initial:
+        Seed state for reachability exploration.
+    transitions:
+        Callback mapping a state to its outgoing ``(state, rate)`` pairs.
+        Rates must be non-negative; zero rates are ignored.
+    max_states:
+        Safety bound on the explored state space.
+    """
+
+    def __init__(
+        self,
+        initial: Hashable,
+        transitions: TransitionFn,
+        max_states: int = 200_000,
+    ) -> None:
+        self.transitions = transitions
+        self.index: Dict[Hashable, int] = {}
+        self.states: List[Hashable] = []
+        self._edges: List[Tuple[int, int, float]] = []
+        self._explore(initial, max_states)
+
+    def _explore(self, initial: Hashable, max_states: int) -> None:
+        stack = [initial]
+        self.index[initial] = 0
+        self.states.append(initial)
+        while stack:
+            state = stack.pop()
+            i = self.index[state]
+            for nxt, rate in self.transitions(state):
+                if rate < 0:
+                    raise ModelError(f"negative rate {rate!r} from state {state!r}")
+                if rate == 0:
+                    continue
+                j = self.index.get(nxt)
+                if j is None:
+                    if len(self.states) >= max_states:
+                        raise ModelError(
+                            f"state space exceeds max_states={max_states}"
+                        )
+                    j = len(self.states)
+                    self.index[nxt] = j
+                    self.states.append(nxt)
+                    stack.append(nxt)
+                self._edges.append((i, j, rate))
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary probabilities aligned with :attr:`states`."""
+        n = len(self.states)
+        if n == 1:
+            return np.ones(1)
+        q = lil_matrix((n, n))
+        for i, j, rate in self._edges:
+            q[i, j] += rate
+            q[i, i] -= rate
+        # Solve pi Q = 0, sum(pi) = 1: replace one balance equation with the
+        # normalization condition.
+        a = q.transpose().tolil()
+        a[n - 1, :] = 1.0
+        b = np.zeros(n)
+        b[n - 1] = 1.0
+        pi = spsolve(a.tocsr(), b)
+        pi = np.asarray(pi).ravel()
+        # Numerical cleanup: clip tiny negatives, renormalize.
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise ModelError("stationary solve produced a zero vector")
+        return pi / total
+
+    def expectation(self, pi: np.ndarray, fn: Callable[[Hashable], float]) -> float:
+        """E[fn(state)] under a distribution aligned with :attr:`states`."""
+        return float(sum(p * fn(s) for s, p in zip(self.states, pi) if p > 0))

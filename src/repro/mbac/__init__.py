@@ -1,0 +1,6 @@
+"""Measurement-based admission control (the IntServ-style benchmark)."""
+
+from repro.mbac.estimator import TimeWindowEstimator
+from repro.mbac.measured_sum import MeasuredSumController
+
+__all__ = ["MeasuredSumController", "TimeWindowEstimator"]

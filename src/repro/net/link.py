@@ -1,0 +1,157 @@
+"""Output ports: the serializing half of a link.
+
+An :class:`OutputPort` couples a queueing discipline to a transmitter of a
+given rate and a propagation delay.  It is the object that routes are made
+of: a packet's route is the ordered list of output ports it must traverse.
+
+The paper's methodology (Section 3.2) simulates the admission-controlled
+class "as being serviced by a queue running at the speed of its bandwidth
+limit"; an OutputPort whose rate is the AC allocated share implements
+exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import BEST_EFFORT, DATA, PROBE, Packet
+from repro.sim.engine import Simulator
+from repro.units import BITS_PER_BYTE
+
+
+class PortStats:
+    """Byte/packet counters for one port, resettable for warm-up discarding."""
+
+    __slots__ = ("data_bytes", "probe_bytes", "be_bytes", "other_bytes",
+                 "data_packets", "probe_packets", "since", "arrived_data_bytes",
+                 "arrived_probe_bytes")
+
+    def __init__(self) -> None:
+        self.reset(0.0)
+
+    def reset(self, now: float) -> None:
+        """Zero all counters and mark the start of the measurement window."""
+        self.data_bytes = 0
+        self.probe_bytes = 0
+        self.be_bytes = 0
+        self.other_bytes = 0
+        self.data_packets = 0
+        self.probe_packets = 0
+        self.arrived_data_bytes = 0
+        self.arrived_probe_bytes = 0
+        self.since = now
+
+    def utilization(self, rate_bps: float, now: float, include_probes: bool = False) -> float:
+        """Fraction of the port's capacity consumed since the last reset.
+
+        Following the paper, probe bytes are excluded by default: "we do not
+        include probe traffic in our utilization figures".
+        """
+        elapsed = now - self.since
+        if elapsed <= 0:
+            return 0.0
+        useful = self.data_bytes + (self.probe_bytes if include_probes else 0)
+        return useful * BITS_PER_BYTE / (rate_bps * elapsed)
+
+
+class OutputPort:
+    """A transmitter with a queueing discipline and a propagation delay.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    rate_bps:
+        Serialization rate.
+    qdisc:
+        Any object with the queue-discipline interface of
+        :mod:`repro.net.queues`.
+    prop_delay:
+        One-way propagation delay added after serialization.
+    name:
+        Label used in reprs and error messages.
+    """
+
+    __slots__ = ("sim", "rate_bps", "qdisc", "prop_delay", "name", "busy",
+                 "stats", "_tx_per_byte")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        qdisc,
+        prop_delay: float = 0.0,
+        name: str = "port",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"link rate must be positive, got {rate_bps!r}")
+        if prop_delay < 0:
+            raise ConfigurationError(
+                f"propagation delay must be non-negative, got {prop_delay!r}"
+            )
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.qdisc = qdisc
+        self.prop_delay = prop_delay
+        self.name = name
+        self.busy = False
+        self.stats = PortStats()
+        # Seconds to serialize one byte; multiplied per packet in the hot path.
+        self._tx_per_byte = BITS_PER_BYTE / rate_bps
+
+    # -- datapath ---------------------------------------------------------
+
+    def send(self, pkt: Packet) -> None:
+        """Offer a packet to this port (called by sources and upstream ports)."""
+        stats = self.stats
+        kind = pkt.kind
+        if kind == DATA:
+            stats.arrived_data_bytes += pkt.size
+        elif kind == PROBE:
+            stats.arrived_probe_bytes += pkt.size
+        if self.qdisc.enqueue(pkt, self.sim.now) and not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        pkt = self.qdisc.dequeue()
+        if pkt is None:
+            self.busy = False
+            idle_hook = getattr(self.qdisc, "note_idle", None)
+            if idle_hook is not None:
+                idle_hook(self.sim.now)
+            return
+        self.busy = True
+        self.sim.call(pkt.size * self._tx_per_byte, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        stats = self.stats
+        kind = pkt.kind
+        if kind == DATA:
+            stats.data_bytes += pkt.size
+            stats.data_packets += 1
+        elif kind == PROBE:
+            stats.probe_bytes += pkt.size
+            stats.probe_packets += 1
+        elif kind == BEST_EFFORT:
+            stats.be_bytes += pkt.size
+        else:
+            stats.other_bytes += pkt.size
+        if self.prop_delay > 0:
+            self.sim.call(self.prop_delay, self._arrive, pkt)
+        else:
+            self._arrive(pkt)
+        self._start_next()
+
+    def _arrive(self, pkt: Packet) -> None:
+        pkt.hop += 1
+        if pkt.hop < len(pkt.route):
+            pkt.route[pkt.hop].send(pkt)
+        else:
+            pkt.sink.receive(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OutputPort({self.name}, {self.rate_bps / 1e6:.3g} Mbps, "
+            f"backlog={self.qdisc.backlog_packets})"
+        )

@@ -1,0 +1,135 @@
+"""Packet representation and per-flow accounting.
+
+Packets are created in the inner loop of every simulation, so the class is a
+``__slots__`` record with no behavior beyond construction.  Accounting lives
+in :class:`FlowAccounting` objects that packets point at: a queue that drops
+a packet increments counters on the packet's accounting record directly,
+which is both faster and simpler than routing loss notifications back
+through the topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+# Packet kinds.  Plain ints (not enum) — these are compared in the hot path.
+DATA = 0        #: admission-controlled data traffic
+PROBE = 1       #: admission-control probe traffic
+BEST_EFFORT = 2  #: legacy best-effort traffic (TCP segments in Figure 11)
+ACK = 3         #: TCP acknowledgements
+
+KIND_NAMES = {DATA: "data", PROBE: "probe", BEST_EFFORT: "best-effort", ACK: "ack"}
+
+# Priority levels inside the admission-controlled class.  Lower value is
+# served first.  Out-of-band designs place probes at PRIO_PROBE.
+PRIO_DATA = 0
+PRIO_PROBE = 1
+
+
+class FlowAccounting:
+    """Counters shared by every packet of one flow (one phase of one flow).
+
+    An endpoint agent typically uses two of these per flow: one for the
+    probe phase and one for the data phase, so probe losses never pollute
+    the data-loss statistics.
+
+    Attributes
+    ----------
+    sent, delivered, dropped, marked:
+        Packet counts.  ``marked`` counts delivered packets that carried an
+        ECN mark.
+    drop_hook:
+        Optional callable invoked (with no arguments) each time one of this
+        flow's packets is dropped — used for the paper's probe early-abort.
+    mark_hook:
+        Same, for ECN marks observed at enqueue time.
+    """
+
+    __slots__ = ("flow_id", "sent", "delivered", "dropped", "marked",
+                 "bytes_sent", "bytes_delivered", "drop_hook", "mark_hook")
+
+    def __init__(self, flow_id: int = -1) -> None:
+        self.flow_id = flow_id
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.marked = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.drop_hook: Optional[Callable[[], None]] = None
+        self.mark_hook: Optional[Callable[[], None]] = None
+
+    # -- derived fractions ------------------------------------------------
+
+    @property
+    def loss_fraction(self) -> float:
+        """Dropped / sent; zero when nothing was sent."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    @property
+    def congestion_fraction(self) -> float:
+        """(Dropped + marked) / sent — the 'marking percentage' of the paper.
+
+        A marked packet was delivered but signalled congestion; a dropped
+        packet is the strongest congestion signal of all, so both count.
+        """
+        if self.sent == 0:
+            return 0.0
+        return (self.dropped + self.marked) / self.sent
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of the counters (for reports and tests)."""
+        return {
+            "flow_id": self.flow_id,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "marked": self.marked,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+class Packet:
+    """A packet in flight.
+
+    ``route`` is the ordered list of :class:`~repro.net.link.OutputPort`
+    objects the packet still has to traverse, ``hop`` the index of the next
+    one; when the route is exhausted the packet is handed to ``sink``.
+    """
+
+    __slots__ = ("size", "kind", "prio", "flow", "ecn", "route", "hop",
+                 "sink", "seq", "created", "payload")
+
+    def __init__(
+        self,
+        size: int,
+        kind: int,
+        flow: FlowAccounting,
+        route: List,
+        sink,
+        prio: int = PRIO_DATA,
+        seq: int = 0,
+        created: float = 0.0,
+        payload=None,
+    ) -> None:
+        self.size = size
+        self.kind = kind
+        self.prio = prio
+        self.flow = flow
+        self.ecn = False
+        self.route = route
+        self.hop = 0
+        self.sink = sink
+        self.seq = seq
+        self.created = created
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({KIND_NAMES.get(self.kind, self.kind)}, size={self.size}, "
+            f"flow={self.flow.flow_id}, seq={self.seq}, hop={self.hop}/"
+            f"{len(self.route)}, ecn={self.ecn})"
+        )

@@ -1,0 +1,70 @@
+"""Virtual-queue ECN marker (paper Section 3.1).
+
+The router simulates a queue running at a fraction (90% in the paper) of the
+real service rate but with the same buffer, and *marks* the packets that
+would have been dropped in that virtual queue.  As the paper notes, this
+needs only one counter per priority level plus an update on each arrival:
+the virtual backlog drains deterministically at the virtual rate, so it can
+be brought up to date lazily when a packet arrives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import BITS_PER_BYTE
+
+
+class VirtualQueue:
+    """Counter-based virtual queue for early congestion marking.
+
+    Parameters
+    ----------
+    rate_bps:
+        Service rate of the *real* queue.
+    buffer_bytes:
+        Buffer of the virtual queue, normally equal to the real buffer.
+    fraction:
+        Virtual service rate as a fraction of ``rate_bps`` (paper: 0.9).
+    """
+
+    __slots__ = ("_vrate_bytes", "_buffer_bytes", "_backlog", "_last",
+                 "marks", "observations")
+
+    def __init__(self, rate_bps: float, buffer_bytes: int, fraction: float = 0.9) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_bps!r}")
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction!r}")
+        if buffer_bytes <= 0:
+            raise ConfigurationError(f"buffer must be positive, got {buffer_bytes!r}")
+        self._vrate_bytes = rate_bps * fraction / BITS_PER_BYTE  # bytes/sec
+        self._buffer_bytes = float(buffer_bytes)
+        self._backlog = 0.0
+        self._last = 0.0
+        self.marks = 0
+        self.observations = 0
+
+    @property
+    def backlog_bytes(self) -> float:
+        """Virtual backlog as of the last observation (not drained to 'now')."""
+        return self._backlog
+
+    def observe(self, size_bytes: int, now: float) -> bool:
+        """Account one arrival of ``size_bytes`` at time ``now``.
+
+        Returns True if the packet would have overflowed the virtual queue,
+        i.e. the packet should be ECN-marked.  A marked packet is *not*
+        added to the virtual backlog (it would have been dropped there).
+        """
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._backlog -= elapsed * self._vrate_bytes
+            if self._backlog < 0.0:
+                self._backlog = 0.0
+            self._last = now
+        self.observations += 1
+        if self._backlog + size_bytes > self._buffer_bytes:
+            self.marks += 1
+            return True
+        self._backlog += size_bytes
+        return False

@@ -1,0 +1,180 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar built on :mod:`heapq`.  It is the hot path
+of every experiment, so it favors plain data structures over abstraction:
+
+* events are small lists ``[time, seq, callback, args, alive]`` — the list
+  (rather than a tuple) lets :meth:`EventHandle.cancel` flip the ``alive``
+  flag in O(1) without touching the heap;
+* the monotonically increasing ``seq`` breaks ties deterministically, which
+  keeps runs bit-for-bit reproducible for a given seed;
+* callbacks receive their pre-bound positional arguments, avoiding closure
+  allocation in inner loops.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.5, fired.append, "hello")
+>>> sim.run(until=10.0)
+>>> fired
+['hello']
+>>> sim.now
+10.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+# Index constants for the event record; kept module-private.
+_TIME, _SEQ, _FN, _ARGS, _ALIVE = 0, 1, 2, 3, 4
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the record stays in the heap but is skipped when
+    popped.  This makes cancel O(1) at the cost of a little heap garbage,
+    which is the right trade-off for timers that are usually *not* cancelled.
+    """
+
+    __slots__ = ("_record",)
+
+    def __init__(self, record: list):
+        self._record = record
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the event will fire."""
+        return self._record[_TIME]
+
+    @property
+    def alive(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return self._record[_ALIVE]
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is harmless."""
+        self._record[_ALIVE] = False
+
+
+class Simulator:
+    """Event calendar with a virtual clock.
+
+    The public surface is deliberately tiny: :meth:`schedule`,
+    :meth:`schedule_at`, :meth:`run`, :meth:`step`, and :attr:`now`.
+    Components (links, sources, endpoint agents) hold a reference to the
+    simulator and schedule their own callbacks.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "_events_processed")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[list] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self._events_processed: int = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast-path schedule with no cancellation handle.
+
+        Identical semantics to :meth:`schedule` but skips the
+        :class:`EventHandle` allocation; use it for the per-packet events of
+        the datapath, which are never cancelled (their callbacks guard on
+        component state instead).
+        """
+        when = self.now + delay
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, [when, self._seq, fn, args, True])
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={when!r} before current time t={self.now!r}"
+            )
+        self._seq += 1
+        record = [when, self._seq, fn, args, True]
+        heapq.heappush(self._heap, record)
+        return EventHandle(record)
+
+    # -- execution ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns True if an event ran, False if the calendar is empty.
+        """
+        heap = self._heap
+        while heap:
+            record = heapq.heappop(heap)
+            if not record[_ALIVE]:
+                continue
+            record[_ALIVE] = False
+            self.now = record[_TIME]
+            self._events_processed += 1
+            record[_FN](*record[_ARGS])
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` and advance the clock to exactly ``until``.  If omitted,
+            run until the calendar drains or :meth:`stop` is called.
+        """
+        heap = self._heap
+        self._stopped = False
+        pop = heapq.heappop
+        processed = 0
+        while heap and not self._stopped:
+            record = pop(heap)
+            if not record[4]:  # cancelled
+                continue
+            when = record[0]
+            if until is not None and when > until:
+                # Not yet due: put it back and stop.
+                heapq.heappush(heap, record)
+                break
+            record[4] = False
+            self.now = when
+            processed += 1
+            record[2](*record[3])
+        self._events_processed += processed
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the currently executing event returns."""
+        self._stopped = True
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled garbage)."""
+        return sum(1 for record in self._heap if record[_ALIVE])
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed

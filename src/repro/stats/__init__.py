@@ -1,0 +1,6 @@
+"""Measurement helpers: time series and replication summaries."""
+
+from repro.stats.series import PeriodicSampler
+from repro.stats.summary import RunningStats, summarize
+
+__all__ = ["PeriodicSampler", "RunningStats", "summarize"]

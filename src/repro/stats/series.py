@@ -1,0 +1,47 @@
+"""Time-series recording.
+
+:class:`PeriodicSampler` polls a callable at a fixed period and stores the
+samples — used for Figure 11's "TCP utilization per 10-second interval"
+and handy for debugging occupancy over time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+class PeriodicSampler:
+    """Sample ``fn()`` every ``period`` seconds from ``start`` onwards."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[[], float],
+        period: float,
+        start: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period!r}")
+        self.sim = sim
+        self.fn = fn
+        self.period = period
+        self.times: List[float] = []
+        self.values: List[float] = []
+        sim.schedule_at(max(start, sim.now) + period, self._tick)
+
+    def _tick(self) -> None:
+        self.times.append(self.sim.now)
+        self.values.append(float(self.fn()))
+        self.sim.schedule(self.period, self._tick)
+
+    def deltas(self) -> List[float]:
+        """Per-interval differences (for cumulative counters)."""
+        out = []
+        prev = 0.0
+        for value in self.values:
+            out.append(value - prev)
+            prev = value
+        return out

@@ -1,0 +1,67 @@
+"""Summary statistics across replications.
+
+The paper averages each point over 7 seeds; :class:`RunningStats` provides
+the mean/variance machinery (Welford's algorithm) and a normal-theory
+confidence half-width for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class RunningStats:
+    """Numerically stable running mean and variance."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); zero for fewer than 2 samples."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation CI half-width (default 95%)."""
+        if self.n < 2:
+            return 0.0
+        return z * self.stddev / math.sqrt(self.n)
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean, stddev and 95% CI half-width of a sample."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    stats = RunningStats()
+    stats.extend(values)
+    return {
+        "n": stats.n,
+        "mean": stats.mean,
+        "stddev": stats.stddev,
+        "ci95": stats.confidence_halfwidth(),
+    }

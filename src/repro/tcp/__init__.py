@@ -1,0 +1,6 @@
+"""TCP Reno stack (legacy best-effort traffic for the coexistence study)."""
+
+from repro.tcp.app import TcpConnection
+from repro.tcp.reno import TcpReceiver, TcpRenoSender
+
+__all__ = ["TcpConnection", "TcpReceiver", "TcpRenoSender"]

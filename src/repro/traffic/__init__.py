@@ -1,0 +1,29 @@
+"""Traffic models: on-off sources, CBR, video, token buckets, flow arrivals."""
+
+from repro.traffic.base import Source
+from repro.traffic.burst import BurstProbeSource, effective_probe_rate
+from repro.traffic.catalog import SOURCE_CATALOG, SourceSpec, get_source_spec
+from repro.traffic.cbr import ConstantRateSource
+from repro.traffic.flowgen import FlowClass, FlowGenerator, FlowRequest
+from repro.traffic.onoff import ExponentialOnOffSource, OnOffSource, ParetoOnOffSource
+from repro.traffic.token_bucket import TokenBucket
+from repro.traffic.video import SyntheticVideoSource, VideoTraceModel
+
+__all__ = [
+    "BurstProbeSource",
+    "ConstantRateSource",
+    "ExponentialOnOffSource",
+    "FlowClass",
+    "FlowGenerator",
+    "FlowRequest",
+    "OnOffSource",
+    "ParetoOnOffSource",
+    "SOURCE_CATALOG",
+    "Source",
+    "SourceSpec",
+    "SyntheticVideoSource",
+    "TokenBucket",
+    "VideoTraceModel",
+    "effective_probe_rate",
+    "get_source_spec",
+]

@@ -1,0 +1,149 @@
+"""The paper's traffic-source catalog (Table 1) as data.
+
+Every source is described by a :class:`SourceSpec` that records the token
+bucket ``(r, b)`` the flow declares to admission control and knows how to
+build the matching live source object.  The module-level
+:data:`SOURCE_CATALOG` holds the six sources of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.sim.engine import Simulator
+from repro.traffic.base import Source
+from repro.traffic.onoff import ExponentialOnOffSource, ParetoOnOffSource
+from repro.traffic.video import SyntheticVideoSource
+from repro.units import kbps
+
+KIND_EXP_ONOFF = "exp_onoff"
+KIND_PARETO_ONOFF = "pareto_onoff"
+KIND_VIDEO = "video"
+
+_VALID_KINDS = (KIND_EXP_ONOFF, KIND_PARETO_ONOFF, KIND_VIDEO)
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Declarative description of a traffic source.
+
+    Attributes
+    ----------
+    name:
+        Catalog label (``"EXP1"``, ``"POO1"``, ...).
+    kind:
+        One of ``"exp_onoff"``, ``"pareto_onoff"``, ``"video"``.
+    token_rate_bps:
+        The token-bucket rate ``r`` the flow declares — also its burst rate
+        for on-off sources and its *probing* rate under endpoint admission
+        control.
+    token_bucket_bytes:
+        The bucket depth ``b``.
+    mean_on, mean_off:
+        Mean holding times (seconds) for on-off kinds; unused for video.
+    average_rate_bps:
+        Long-run average rate (used for load accounting in scenarios).
+    packet_bytes:
+        Fixed packet size.
+    shape:
+        Pareto shape for ``pareto_onoff``.
+    """
+
+    name: str
+    kind: str
+    token_rate_bps: float
+    token_bucket_bytes: int
+    average_rate_bps: float
+    packet_bytes: int
+    mean_on: float = 0.0
+    mean_off: float = 0.0
+    shape: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ConfigurationError(
+                f"unknown source kind {self.kind!r}; expected one of {_VALID_KINDS}"
+            )
+        if self.token_rate_bps <= 0 or self.average_rate_bps <= 0:
+            raise ConfigurationError(f"{self.name}: rates must be positive")
+        if self.kind == KIND_PARETO_ONOFF and self.shape is None:
+            raise ConfigurationError(f"{self.name}: pareto source needs a shape")
+
+    def build(
+        self,
+        sim: Simulator,
+        route: List,
+        sink,
+        flow: FlowAccounting,
+        rng: np.random.Generator,
+        kind: int = DATA,
+        prio: int = PRIO_DATA,
+    ) -> Source:
+        """Instantiate a live source for one flow."""
+        if self.kind == KIND_EXP_ONOFF:
+            return ExponentialOnOffSource(
+                sim, route, sink, flow, self.token_rate_bps, self.mean_on,
+                self.mean_off, self.packet_bytes, rng, kind=kind, prio=prio,
+            )
+        if self.kind == KIND_PARETO_ONOFF:
+            return ParetoOnOffSource(
+                sim, route, sink, flow, self.token_rate_bps, self.mean_on,
+                self.mean_off, self.packet_bytes, rng, kind=kind, prio=prio,
+                shape=self.shape,
+            )
+        return SyntheticVideoSource(
+            sim, route, sink, flow, rng,
+            token_rate_bps=self.token_rate_bps,
+            token_bucket_bytes=self.token_bucket_bytes,
+            packet_bytes=self.packet_bytes,
+            kind=kind, prio=prio,
+        )
+
+
+#: Table 1 of the paper.  Burst rates double as token rates; on-off sources
+#: conform to a b = one-packet bucket, the video source to (800 kbps, 200 kbit).
+SOURCE_CATALOG: Dict[str, SourceSpec] = {
+    "EXP1": SourceSpec(
+        name="EXP1", kind=KIND_EXP_ONOFF, token_rate_bps=kbps(256),
+        token_bucket_bytes=125, average_rate_bps=kbps(128), packet_bytes=125,
+        mean_on=0.500, mean_off=0.500,
+    ),
+    "EXP2": SourceSpec(
+        name="EXP2", kind=KIND_EXP_ONOFF, token_rate_bps=kbps(1024),
+        token_bucket_bytes=125, average_rate_bps=kbps(128), packet_bytes=125,
+        mean_on=0.125, mean_off=0.875,
+    ),
+    "EXP3": SourceSpec(
+        name="EXP3", kind=KIND_EXP_ONOFF, token_rate_bps=kbps(512),
+        token_bucket_bytes=125, average_rate_bps=kbps(256), packet_bytes=125,
+        mean_on=0.500, mean_off=0.500,
+    ),
+    "EXP4": SourceSpec(
+        name="EXP4", kind=KIND_EXP_ONOFF, token_rate_bps=kbps(256),
+        token_bucket_bytes=125, average_rate_bps=kbps(128), packet_bytes=125,
+        mean_on=5.000, mean_off=5.000,
+    ),
+    "POO1": SourceSpec(
+        name="POO1", kind=KIND_PARETO_ONOFF, token_rate_bps=kbps(256),
+        token_bucket_bytes=125, average_rate_bps=kbps(128), packet_bytes=125,
+        mean_on=0.500, mean_off=0.500, shape=1.2,
+    ),
+    "STARWARS": SourceSpec(
+        name="STARWARS", kind=KIND_VIDEO, token_rate_bps=kbps(800),
+        token_bucket_bytes=25000, average_rate_bps=kbps(360), packet_bytes=200,
+    ),
+}
+
+
+def get_source_spec(name: str) -> SourceSpec:
+    """Look up a catalog source by name (case-insensitive)."""
+    try:
+        return SOURCE_CATALOG[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(SOURCE_CATALOG))
+        raise ConfigurationError(f"unknown source {name!r}; known: {known}") from None

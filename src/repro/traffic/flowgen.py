@@ -1,0 +1,144 @@
+"""Flow-level workload: Poisson arrivals with exponential lifetimes.
+
+The generator produces :class:`FlowRequest` records and hands them to a
+callback (normally an admission controller).  It knows nothing about
+admission itself — rejected flows simply never start a data phase, which
+matches the paper's "rejected flows do not retry" simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import SourceSpec
+
+
+@dataclass(frozen=True)
+class FlowClass:
+    """One class of offered flows.
+
+    ``epsilon`` overrides the design's default acceptance threshold for this
+    class (used by the heterogeneous-thresholds experiment); ``None`` keeps
+    the default.  ``src``/``dst`` name topology endpoints.
+    """
+
+    label: str
+    spec: SourceSpec
+    weight: float = 1.0
+    epsilon: Optional[float] = None
+    src: str = "src"
+    dst: str = "dst"
+
+
+@dataclass
+class FlowRequest:
+    """Everything an admission controller needs to handle one flow."""
+
+    flow_id: int
+    cls: FlowClass
+    arrival_time: float
+    lifetime: float
+
+    @property
+    def spec(self) -> SourceSpec:
+        return self.cls.spec
+
+    @property
+    def label(self) -> str:
+        return self.cls.label
+
+
+class FlowGenerator:
+    """Poisson flow arrivals over a weighted mixture of flow classes.
+
+    Parameters
+    ----------
+    sim, streams:
+        Engine and root RNG family.
+    classes:
+        Non-empty list of :class:`FlowClass`; a class is picked per arrival
+        with probability proportional to its weight.
+    interarrival:
+        Mean time between flow arrivals (the paper's tau).
+    lifetime_mean:
+        Mean exponential flow lifetime (paper: 300 s).
+    on_request:
+        Callback invoked with each :class:`FlowRequest`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        classes: Sequence[FlowClass],
+        interarrival: float,
+        on_request: Callable[[FlowRequest], None],
+        lifetime_mean: float = 300.0,
+    ) -> None:
+        if not classes:
+            raise ConfigurationError("need at least one flow class")
+        if interarrival <= 0:
+            raise ConfigurationError(
+                f"interarrival must be positive, got {interarrival!r}"
+            )
+        if lifetime_mean <= 0:
+            raise ConfigurationError(
+                f"lifetime mean must be positive, got {lifetime_mean!r}"
+            )
+        total_weight = sum(c.weight for c in classes)
+        if total_weight <= 0:
+            raise ConfigurationError("class weights must sum to a positive value")
+        self.sim = sim
+        self.classes = list(classes)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.weight / total_weight
+            self._cumulative.append(acc)
+        self.interarrival = interarrival
+        self.lifetime_mean = lifetime_mean
+        self.on_request = on_request
+        self._arrival_rng = streams.get("flow-arrivals")
+        self._lifetime_rng = streams.get("flow-lifetimes")
+        self._class_rng = streams.get("flow-classes")
+        self._next_id = 0
+        self.offered = 0
+        self.running = False
+
+    def start(self) -> None:
+        """Begin generating arrivals (first one after an exponential gap)."""
+        self.running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating new arrivals; flows already offered are unaffected."""
+        self.running = False
+
+    def _schedule_next(self) -> None:
+        gap = float(self._arrival_rng.exponential(self.interarrival))
+        self.sim.schedule(gap, self._arrive)
+
+    def _pick_class(self) -> FlowClass:
+        u = self._class_rng.random()
+        for cls, edge in zip(self.classes, self._cumulative):
+            if u <= edge:
+                return cls
+        return self.classes[-1]  # pragma: no cover - float-rounding guard
+
+    def _arrive(self) -> None:
+        if not self.running:
+            return
+        self._next_id += 1
+        self.offered += 1
+        request = FlowRequest(
+            flow_id=self._next_id,
+            cls=self._pick_class(),
+            arrival_time=self.sim.now,
+            lifetime=float(self._lifetime_rng.exponential(self.lifetime_mean)),
+        )
+        self.on_request(request)
+        self._schedule_next()

@@ -1,0 +1,63 @@
+"""Token-bucket policer.
+
+The paper characterizes every flow by an ``(r, b)`` token bucket and
+reshapes the Star Wars trace "(by dropping)" to conform to its bucket.
+:class:`TokenBucket` implements exactly that policing discipline: tokens
+accrue at ``rate_bps`` up to ``bucket_bytes``; a packet conforms if the
+bucket holds at least its size in tokens.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import BITS_PER_BYTE
+
+
+class TokenBucket:
+    """Continuous-time token bucket.
+
+    >>> tb = TokenBucket(rate_bps=8000, bucket_bytes=1000)  # 1000 B/s refill
+    >>> tb.conforms(1000, now=0.0)   # bucket starts full
+    True
+    >>> tb.conforms(1000, now=0.0)   # immediately again: empty
+    False
+    >>> tb.conforms(1000, now=1.0)   # one second refills 1000 bytes
+    True
+    """
+
+    __slots__ = ("rate_bytes", "bucket_bytes", "_tokens", "_last",
+                 "conforming", "nonconforming")
+
+    def __init__(self, rate_bps: float, bucket_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"token rate must be positive, got {rate_bps!r}")
+        if bucket_bytes <= 0:
+            raise ConfigurationError(
+                f"bucket depth must be positive, got {bucket_bytes!r}"
+            )
+        self.rate_bytes = rate_bps / BITS_PER_BYTE
+        self.bucket_bytes = float(bucket_bytes)
+        self._tokens = float(bucket_bytes)
+        self._last = 0.0
+        self.conforming = 0
+        self.nonconforming = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last :meth:`conforms` call."""
+        return self._tokens
+
+    def conforms(self, size_bytes: int, now: float) -> bool:
+        """Debit ``size_bytes`` if available; return whether it conformed."""
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens += elapsed * self.rate_bytes
+            if self._tokens > self.bucket_bytes:
+                self._tokens = self.bucket_bytes
+            self._last = now
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            self.conforming += 1
+            return True
+        self.nonconforming += 1
+        return False

@@ -1,0 +1,190 @@
+"""Synthetic VBR video source (Star Wars trace stand-in).
+
+The paper drives one robustness scenario with the Garrett–Willinger Star
+Wars MPEG trace, reshaped by dropping to an (800 kbps, 200 kbit) token
+bucket and packetized at 200 bytes.  The original trace is not
+redistributable, so this module synthesizes a trace with the properties the
+experiment actually exercises:
+
+* frame-based emission at 24 fps with an MPEG GOP structure (I frames much
+  larger than P, P larger than B), giving short-timescale burstiness;
+* heavy-tailed (Pareto) scene durations modulating a per-scene activity
+  level, giving the slowly decaying autocorrelation (long-range dependence
+  in aggregate) that made the Star Wars trace famous;
+* a mean rate of ~360 kbps against an 800 kbps token rate, so the token
+  bucket genuinely clips the biggest bursts, exactly as the paper's
+  reshaping does.
+
+Both a standalone trace generator (for tests and statistics) and a
+simulator-driven source are provided.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.sim.engine import Simulator
+from repro.traffic.base import Source
+from repro.traffic.token_bucket import TokenBucket
+
+#: Frames per second of the synthetic movie.
+FRAME_RATE = 24.0
+
+#: A 12-frame MPEG GOP: relative sizes of I, P and B frames.
+GOP_PATTERN = ("I", "B", "B", "P", "B", "B", "P", "B", "B", "P", "B", "B")
+FRAME_MULTIPLIER = {"I": 5.0, "P": 2.0, "B": 1.0}
+
+# With the GOP above, the mean multiplier is (5 + 3*2 + 8*1)/12 = 19/12.
+_MEAN_MULTIPLIER = sum(FRAME_MULTIPLIER[t] for t in GOP_PATTERN) / len(GOP_PATTERN)
+
+
+class VideoTraceModel:
+    """Parameters of the synthetic movie.
+
+    ``mean_rate_bps`` is the long-run average of the *unshaped* trace; the
+    token bucket then clips the peaks.
+    """
+
+    def __init__(
+        self,
+        mean_rate_bps: float = 360e3,
+        scene_mean_s: float = 10.0,
+        scene_shape: float = 1.5,
+        activity_sigma: float = 0.45,
+        frame_noise_shape: float = 12.0,
+    ) -> None:
+        if mean_rate_bps <= 0:
+            raise ConfigurationError(
+                f"mean rate must be positive, got {mean_rate_bps!r}"
+            )
+        if scene_shape <= 1.0:
+            raise ConfigurationError(
+                f"scene shape must exceed 1 for a finite mean, got {scene_shape!r}"
+            )
+        self.mean_rate_bps = mean_rate_bps
+        self.scene_mean_s = scene_mean_s
+        self.scene_shape = scene_shape
+        self.activity_sigma = activity_sigma
+        self.frame_noise_shape = frame_noise_shape
+        # Base size of a B frame such that the long-run mean matches:
+        # mean_frame_bytes = base * mean_multiplier * E[activity] * E[noise].
+        mean_frame_bytes = mean_rate_bps / 8.0 / FRAME_RATE
+        # activity is lognormal with mean 1 (mu = -sigma^2/2); noise is
+        # gamma with mean 1.  So base absorbs only the GOP multiplier.
+        self.base_frame_bytes = mean_frame_bytes / _MEAN_MULTIPLIER
+
+    def generate_frames(self, rng: np.random.Generator, n_frames: int) -> np.ndarray:
+        """Return ``n_frames`` frame sizes in bytes (unshaped)."""
+        if n_frames <= 0:
+            raise ConfigurationError(f"need n_frames > 0, got {n_frames!r}")
+        sizes = np.empty(n_frames, dtype=np.float64)
+        mu = -0.5 * self.activity_sigma**2
+        xm = self.scene_mean_s * (self.scene_shape - 1.0) / self.scene_shape
+        i = 0
+        while i < n_frames:
+            # Scene duration (frames) from a Pareto law — the heavy tail is
+            # what produces long-range dependence in the aggregate.
+            u = max(rng.random(), 1e-12)
+            scene_s = xm * u ** (-1.0 / self.scene_shape)
+            scene_frames = max(1, int(round(scene_s * FRAME_RATE)))
+            activity = float(rng.lognormal(mu, self.activity_sigma))
+            end = min(n_frames, i + scene_frames)
+            count = end - i
+            noise = rng.gamma(self.frame_noise_shape, 1.0 / self.frame_noise_shape, count)
+            multipliers = np.array(
+                [FRAME_MULTIPLIER[GOP_PATTERN[(i + k) % len(GOP_PATTERN)]] for k in range(count)]
+            )
+            sizes[i:end] = self.base_frame_bytes * activity * multipliers * noise
+            i = end
+        return np.maximum(sizes, 1.0)
+
+
+class SyntheticVideoSource(Source):
+    """Frame-driven VBR source reshaped by a token bucket.
+
+    Every frame interval (1/24 s) a frame size is drawn from the scene
+    model, split into ``packet_bytes`` packets, and the packets are spread
+    evenly across the frame interval.  Each packet is policed by the token
+    bucket; nonconforming packets are discarded at the source ("we reshape
+    (by dropping)"), so they never count as sent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        route: List,
+        sink,
+        flow: FlowAccounting,
+        rng: np.random.Generator,
+        token_rate_bps: float = 800e3,
+        token_bucket_bytes: int = 25000,
+        packet_bytes: int = 200,
+        model: VideoTraceModel | None = None,
+        kind: int = DATA,
+        prio: int = PRIO_DATA,
+    ) -> None:
+        super().__init__(sim, route, sink, flow, packet_bytes, kind, prio)
+        self.rng = rng
+        self.model = model if model is not None else VideoTraceModel()
+        self.bucket = TokenBucket(token_rate_bps, token_bucket_bytes)
+        self._frame_interval = 1.0 / FRAME_RATE
+        self._frame_index = 0
+        self._scene_frames_left = 0
+        self._activity = 1.0
+        self._epoch = 0
+        self.frames_emitted = 0
+        self.shaped_packets = 0
+
+    # -- scene/frame process ------------------------------------------------
+
+    def _next_frame_bytes(self) -> float:
+        model = self.model
+        if self._scene_frames_left <= 0:
+            u = max(self.rng.random(), 1e-12)
+            xm = model.scene_mean_s * (model.scene_shape - 1.0) / model.scene_shape
+            scene_s = xm * u ** (-1.0 / model.scene_shape)
+            self._scene_frames_left = max(1, int(round(scene_s * FRAME_RATE)))
+            mu = -0.5 * model.activity_sigma**2
+            self._activity = float(self.rng.lognormal(mu, model.activity_sigma))
+        self._scene_frames_left -= 1
+        frame_type = GOP_PATTERN[self._frame_index % len(GOP_PATTERN)]
+        self._frame_index += 1
+        noise = float(
+            self.rng.gamma(model.frame_noise_shape, 1.0 / model.frame_noise_shape)
+        )
+        size = model.base_frame_bytes * self._activity * FRAME_MULTIPLIER[frame_type] * noise
+        return max(size, 1.0)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        self._epoch += 1
+        self._frame_tick(self._epoch)
+
+    def stop(self) -> None:
+        super().stop()
+        self._epoch += 1
+
+    def _frame_tick(self, epoch: int) -> None:
+        if not self.running or epoch != self._epoch:
+            return
+        frame_bytes = self._next_frame_bytes()
+        self.frames_emitted += 1
+        n_packets = max(1, int(np.ceil(frame_bytes / self.packet_bytes)))
+        spacing = self._frame_interval / n_packets
+        for k in range(n_packets):
+            self.sim.call(k * spacing, self._emit_policed, epoch)
+        self.sim.call(self._frame_interval, self._frame_tick, epoch)
+
+    def _emit_policed(self, epoch: int) -> None:
+        if not self.running or epoch != self._epoch:
+            return
+        if self.bucket.conforms(self.packet_bytes, self.sim.now):
+            self._emit()
+        else:
+            self.shaped_packets += 1

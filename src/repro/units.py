@@ -1,0 +1,87 @@
+"""Unit helpers and conventions used throughout the library.
+
+Conventions
+-----------
+* **Time** is measured in seconds, as ``float``.
+* **Sizes** are measured in bytes, as ``int``.
+* **Rates** are measured in bits per second, as ``float``.
+
+These helpers exist so that scenario definitions read like the paper
+("128 kbps flows on a 10 Mbps link") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; packet sizes are bytes, rates are bits/second.
+BITS_PER_BYTE = 8
+
+# -- rates -------------------------------------------------------------------
+
+
+def kbps(value: float) -> float:
+    """Return *value* kilobits/second expressed in bits/second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits/second expressed in bits/second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits/second expressed in bits/second."""
+    return float(value) * 1e9
+
+
+# -- sizes -------------------------------------------------------------------
+
+
+def kilobytes(value: float) -> int:
+    """Return *value* kilobytes expressed in bytes."""
+    return int(round(float(value) * 1e3))
+
+
+def kilobits(value: float) -> int:
+    """Return *value* kilobits expressed in bytes (rounded down)."""
+    return int(float(value) * 1e3 // BITS_PER_BYTE)
+
+
+# -- times -------------------------------------------------------------------
+
+
+def ms(value: float) -> float:
+    """Return *value* milliseconds expressed in seconds."""
+    return float(value) * 1e-3
+
+
+def us(value: float) -> float:
+    """Return *value* microseconds expressed in seconds."""
+    return float(value) * 1e-6
+
+
+def minutes(value: float) -> float:
+    """Return *value* minutes expressed in seconds."""
+    return float(value) * 60.0
+
+
+# -- derived quantities ------------------------------------------------------
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Time to serialize ``size_bytes`` onto a link of ``rate_bps``.
+
+    Raises
+    ------
+    ValueError
+        If the rate is not strictly positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return (size_bytes * BITS_PER_BYTE) / rate_bps
+
+
+def packets_per_second(rate_bps: float, packet_bytes: int) -> float:
+    """Packet emission frequency of a constant-rate source."""
+    if packet_bytes <= 0:
+        raise ValueError(f"packet size must be positive, got {packet_bytes!r}")
+    return rate_bps / (packet_bytes * BITS_PER_BYTE)

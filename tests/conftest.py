@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, FlowAccounting, Packet
+from repro.net.queues import DropTailFifo
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def rng(streams):
+    return streams.get("test")
+
+
+def make_link(sim, rate_bps=1e6, capacity=10, prop_delay=0.0, qdisc=None):
+    """A single output port with a drop-tail queue and a latency sink."""
+    if qdisc is None:
+        qdisc = DropTailFifo(capacity)
+    port = OutputPort(sim, rate_bps, qdisc, prop_delay, name="test-port")
+    sink = Sink(sim, record_latency=True)
+    return port, sink
+
+
+def make_packet(flow, route, sink, size=125, kind=DATA, prio=0, seq=0, created=0.0):
+    return Packet(size, kind, flow, route, sink, prio=prio, seq=seq, created=created)
+
+
+def send_packets(sim, port, sink, n, size=125, flow=None, kind=DATA, prio=0):
+    """Inject n packets back-to-back at t=now; returns the accounting."""
+    if flow is None:
+        flow = FlowAccounting(1)
+    for i in range(n):
+        flow.sent += 1
+        flow.bytes_sent += size
+        port.send(make_packet(flow, [port], sink, size=size, kind=kind,
+                              prio=prio, seq=i, created=sim.now))
+    return flow

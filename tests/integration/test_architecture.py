@@ -1,0 +1,107 @@
+"""Integration tests for the remaining Section 2 architectural arguments.
+
+* Section 2.1.3 — multiple priority levels steal bandwidth from lower
+  levels, so probes must not ride per-level priorities.
+* Section 2.2.3 — probe push-out and the out-of-band arrangement protect
+  data from probe overload (starvation instead of collapse).
+"""
+
+import pytest
+
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, PRIO_PROBE, PROBE, FlowAccounting
+from repro.net.queues import TwoLevelPriorityQueue
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import ConstantRateSource
+from repro.units import kbps, mbps
+
+
+def test_higher_priority_level_starves_lower_level():
+    """Section 2.1.3: once level-1 demand reaches capacity, level-2 flows
+    that probed a clean network are completely deprived of service."""
+    sim = Simulator()
+    port = OutputPort(sim, kbps(512), TwoLevelPriorityQueue(50), 0.0)
+    sink = Sink(sim)
+
+    # A level-2 (here: probe-priority) flow arrives first; the link is idle
+    # so it sees no congestion at all.
+    low = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, low, kbps(256), 125,
+                       kind=PROBE, prio=PRIO_PROBE).start()
+    sim.run(until=5.0)
+    assert low.loss_fraction < 0.01
+
+    # Then level-1 flows fill the link: the resident level-2 flow loses
+    # essentially everything from that point on.
+    high = FlowAccounting(2)
+    ConstantRateSource(sim, [port], sink, high, kbps(512), 125,
+                       kind=DATA, prio=PRIO_DATA).start()
+    low_sent_before, low_ok_before = low.sent, low.delivered
+    sim.run(until=15.0)
+    delivered_after = low.delivered - low_ok_before
+    sent_after = low.sent - low_sent_before
+    assert delivered_after / sent_after < 0.15
+    assert high.loss_fraction < 0.05
+
+
+def test_out_of_band_probe_overload_cannot_hurt_data():
+    """Probe floods at the probe priority leave the data class unharmed
+    (the starvation-not-collapse property of out-of-band probing)."""
+    sim = Simulator()
+    port = OutputPort(sim, kbps(512), TwoLevelPriorityQueue(50), 0.0)
+    sink = Sink(sim)
+    data = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, data, kbps(400), 125,
+                       kind=DATA, prio=PRIO_DATA).start()
+    # Three aggressive probes, 256 kbps each: total demand 1168 kbps.
+    probes = []
+    for i in range(3):
+        flow = FlowAccounting(10 + i)
+        ConstantRateSource(sim, [port], sink, flow, kbps(256), 125,
+                           kind=PROBE, prio=PRIO_PROBE).start()
+        probes.append(flow)
+    sim.run(until=20.0)
+    assert data.loss_fraction < 0.01           # data protected
+    total_probe_loss = sum(f.dropped for f in probes) / sum(f.sent for f in probes)
+    assert total_probe_loss > 0.5              # probes absorb the overload
+
+
+def test_in_band_probe_overload_collapses_data_too():
+    """The same flood in-band drags the data class down with it — the
+    collapse regime of Figure 1."""
+    from repro.net.queues import DropTailFifo
+
+    sim = Simulator()
+    port = OutputPort(sim, kbps(512), DropTailFifo(50), 0.0)
+    sink = Sink(sim)
+    data = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, data, kbps(400), 125,
+                       kind=DATA, prio=PRIO_DATA).start()
+    # Slightly detuned rates and staggered starts so the deterministic CBR
+    # streams do not phase-lock (which would let one stream absorb all the
+    # drop-tail losses).
+    for i, rate in enumerate((kbps(250), kbps(256), kbps(263))):
+        flow = FlowAccounting(10 + i)
+        src = ConstantRateSource(sim, [port], sink, flow, rate, 125,
+                                 kind=PROBE, prio=PRIO_DATA)
+        sim.schedule_at(0.1 * (i + 1), src.start)
+    sim.run(until=20.0)
+    assert data.loss_fraction > 0.3
+
+
+def test_rate_limited_class_is_not_work_conserving():
+    """Section 2.1.2: the AC class is served at its bandwidth limit even
+    when the 'rest of the link' is idle — our port *is* the limit, so AC
+    throughput never exceeds the allocated share."""
+    sim = Simulator()
+    share = kbps(500)
+    port = OutputPort(sim, share, TwoLevelPriorityQueue(100), 0.0)
+    sink = Sink(sim)
+    flow = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, flow, kbps(800), 125).start()
+    horizon = 20.0
+    sim.run(until=horizon)
+    served_bps = port.stats.data_bytes * 8 / horizon
+    assert served_bps <= share * 1.01
+    assert flow.dropped > 0

@@ -1,0 +1,64 @@
+"""Integration test for Section 2.1.1: the stolen-bandwidth problem.
+
+The paper's architectural argument: under Fair Queueing, a large flow that
+probed a completely uncongested link can later have its bandwidth stolen by
+many small flows (each small flow's fair share stays clean, so they all
+pass admission, while the large flow's share collapses below its rate).
+Under FIFO this cannot happen — overload hurts everyone, so probes detect
+it and further admissions stop.
+
+We reproduce the two-rate-group construction: one large flow (rate 2r)
+admitted first, then a crowd of small flows (rate r) arriving later.
+"""
+
+import pytest
+
+from repro.experiments.ablations import stolen_bandwidth_demo as run_two_groups
+from repro.net.link import OutputPort
+from repro.net.packet import FlowAccounting
+from repro.net.queues import DropTailFifo, FairQueueing
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import ConstantRateSource
+from repro.units import kbps, mbps
+
+
+def test_fair_queueing_steals_from_the_large_flow():
+    # Total demand 512 + 6*128 = 1280 kbps on a 1 Mbps link.  FQ gives each
+    # of the 7 flows ~143 kbps: the small flows fit (loss ~ 0) while the
+    # large flow loses (512-143)/512 ~ 72% of its traffic.
+    large_loss, small_loss = run_two_groups(FairQueueing(100))
+    assert large_loss > 0.5
+    assert max(small_loss) < 0.05
+
+
+def test_fifo_spreads_overload_across_everyone():
+    # Under FIFO the same overload produces roughly uniform ~22% loss:
+    # the small flows cannot hide from the congestion they create, so
+    # probing would have detected it.
+    large_loss, small_loss = run_two_groups(DropTailFifo(100))
+    expected = 1.0 - 1000 / 1280
+    assert large_loss == pytest.approx(expected, abs=0.08)
+    mean_small = sum(small_loss) / len(small_loss)
+    assert mean_small == pytest.approx(expected, abs=0.08)
+
+
+def test_fq_small_flow_probe_would_pass_while_large_flow_suffers():
+    """The admission-control consequence: a probing small flow sees a clean
+    link under FQ even while the resident large flow is starving."""
+    sim = Simulator()
+    port = OutputPort(sim, mbps(1), FairQueueing(100), 0.0)
+    sink = Sink(sim)
+    large = FlowAccounting(1)
+    ConstantRateSource(sim, [port], sink, large, kbps(900), 125).start()
+    # Six small probes arrive: their own fair share is clean.
+    probes = []
+    for i in range(6):
+        flow = FlowAccounting(10 + i)
+        src = ConstantRateSource(sim, [port], sink, flow, kbps(128), 125)
+        sim.schedule_at(5.0, src.start)
+        probes.append(flow)
+    sim.run(until=15.0)
+    for flow in probes:
+        assert flow.loss_fraction < 0.02  # every probe would pass
+    assert large.dropped > 0              # while the big flow bleeds

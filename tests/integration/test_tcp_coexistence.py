@@ -1,0 +1,32 @@
+"""Integration test of Figure 11: EAC meets TCP at a legacy router."""
+
+import pytest
+
+from repro.experiments.figures import figure11
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    # Three epsilon points, short horizon: enough to see the regime split.
+    return figure11(scale=0.004, epsilons=(0.0, 0.05))
+
+
+def test_strict_threshold_surrenders_to_tcp(fig11):
+    """At eps=0, TCP-induced loss keeps every AC flow out."""
+    tcp_share = fig11.data[0.0]
+    steady = tcp_share[len(tcp_share) // 3:]
+    assert sum(steady) / len(steady) > 0.9
+
+
+def test_loose_threshold_lets_ac_share_bandwidth(fig11):
+    strict = fig11.data[0.0]
+    loose = fig11.data[0.05]
+    strict_mean = sum(strict[len(strict) // 3:]) / len(strict[len(strict) // 3:])
+    loose_mean = sum(loose[len(loose) // 3:]) / len(loose[len(loose) // 3:])
+    assert loose_mean < strict_mean - 0.03
+
+
+def test_tcp_keeps_all_bandwidth_before_ac_starts(fig11):
+    for eps, series in fig11.data.items():
+        # The first interval(s) predate the AC start at t=50 s.
+        assert series[0] > 0.85

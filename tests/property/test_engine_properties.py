@@ -1,0 +1,74 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+
+@given(delays)
+def test_events_always_fire_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+
+
+@given(delays)
+def test_equal_times_fire_in_scheduling_order(ds):
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(ds):
+        sim.schedule(d, fired.append, (d, i))
+    sim.run()
+    assert fired == sorted(fired)  # (time, insertion index) lexicographic
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_run_until_never_executes_future_events(ds, horizon):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=horizon)
+    assert all(d <= horizon for d in fired)
+    assert sim.now >= min(horizon, max(ds) if ds else horizon) or not fired
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=199)))
+def test_cancelled_events_never_fire(ds, cancel_idx):
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(ds)]
+    for i in cancel_idx:
+        if i < len(handles):
+            handles[i].cancel()
+    sim.run()
+    cancelled = {i for i in cancel_idx if i < len(ds)}
+    assert set(fired) == set(range(len(ds))) - cancelled
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_clock_is_monotone_under_chained_scheduling(ds):
+    sim = Simulator()
+    observed = []
+
+    def chain(remaining):
+        observed.append(sim.now)
+        if remaining:
+            sim.schedule(remaining[0], chain, remaining[1:])
+
+    sim.schedule(0.0, chain, tuple(ds))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(ds) + 1

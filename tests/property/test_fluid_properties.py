@@ -1,0 +1,61 @@
+"""Property-based tests for the fluid model's CTMC."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.markov import MarkovChain
+from repro.fluid.model import FluidModelConfig, FluidThrashingModel
+
+
+@given(
+    st.floats(min_value=1.0, max_value=20.0),   # interarrival
+    st.floats(min_value=5.0, max_value=100.0),  # lifetime
+    st.floats(min_value=0.5, max_value=6.0),    # probe duration
+    st.integers(min_value=2, max_value=12),     # capacity
+)
+@settings(max_examples=20, deadline=None)
+def test_solution_is_a_probability_distribution(tau, life, probe, cap):
+    cfg = FluidModelConfig(
+        interarrival=tau, lifetime=life, probe_duration=probe,
+        capacity_flows=cap, give_up_probability=0.1, max_probing=30,
+    )
+    model = FluidThrashingModel(cfg)
+    chain = MarkovChain((0, 0), model._transitions)
+    pi = chain.stationary_distribution()
+    assert abs(pi.sum() - 1.0) < 1e-9
+    assert (pi >= 0).all()
+
+
+@given(
+    st.floats(min_value=1.0, max_value=20.0),
+    st.floats(min_value=5.0, max_value=100.0),
+    st.floats(min_value=0.5, max_value=6.0),
+    st.integers(min_value=2, max_value=12),
+    st.floats(min_value=0.0, max_value=0.3),
+)
+@settings(max_examples=20, deadline=None)
+def test_outputs_are_physical(tau, life, probe, cap, eps):
+    cfg = FluidModelConfig(
+        interarrival=tau, lifetime=life, probe_duration=probe,
+        capacity_flows=cap, epsilon=eps, give_up_probability=0.1,
+        max_probing=30,
+    )
+    point = FluidThrashingModel(cfg).solve()
+    assert 0.0 <= point.utilization <= 1.0 + 1e-9
+    assert 0.0 <= point.loss_probability_inband <= 1.0
+    assert 0.0 <= point.mean_accepted <= cfg.admit_limit + 1e-9
+    assert 0.0 <= point.mean_probing <= cfg.max_probing + 1e-9
+    assert 0.0 <= point.truncation_mass <= 1.0
+
+
+@given(st.integers(min_value=2, max_value=12),
+       st.floats(min_value=0.01, max_value=0.3))
+@settings(max_examples=20, deadline=None)
+def test_accepted_population_within_admit_limit(cap, eps):
+    cfg = FluidModelConfig(
+        capacity_flows=cap, epsilon=eps, give_up_probability=0.2,
+        max_probing=25, interarrival=2.0, lifetime=50.0, probe_duration=1.0,
+    )
+    model = FluidThrashingModel(cfg)
+    chain = MarkovChain((0, 0), model._transitions)
+    assert all(a <= cfg.admit_limit for a, p in chain.states)

@@ -1,0 +1,111 @@
+"""Property-based tests: conservation and ordering invariants of queues."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import DATA, PRIO_DATA, PRIO_PROBE, PROBE, FlowAccounting, Packet
+from repro.net.queues import DropTailFifo, FairQueueing, TwoLevelPriorityQueue
+
+# An operation stream: (is_enqueue, prio, flow_id)
+ops = st.lists(
+    st.tuples(st.booleans(), st.sampled_from([PRIO_DATA, PRIO_PROBE]),
+              st.integers(min_value=0, max_value=4)),
+    max_size=300,
+)
+capacities = st.integers(min_value=1, max_value=20)
+
+
+def run_ops(queue, op_list):
+    flows = {}
+    enq = deq = 0
+    for is_enqueue, prio, flow_id in op_list:
+        if is_enqueue:
+            flow = flows.setdefault(flow_id, FlowAccounting(flow_id))
+            kind = DATA if prio == PRIO_DATA else PROBE
+            pkt = Packet(125, kind, flow, [], None, prio=prio)
+            if queue.enqueue(pkt, 0.0):
+                enq += 1
+        else:
+            if queue.dequeue() is not None:
+                deq += 1
+    return flows, enq, deq
+
+
+@given(ops, capacities)
+def test_droptail_conservation(op_list, capacity):
+    queue = DropTailFifo(capacity)
+    flows, enq, deq = run_ops(queue, op_list)
+    backlog = 0
+    while queue.dequeue() is not None:
+        backlog += 1
+    assert enq == deq + backlog
+    assert backlog <= capacity
+
+
+@given(ops, capacities)
+def test_droptail_never_exceeds_capacity(op_list, capacity):
+    queue = DropTailFifo(capacity)
+    for is_enqueue, prio, flow_id in op_list:
+        if is_enqueue:
+            queue.enqueue(Packet(125, DATA, FlowAccounting(flow_id), [], None), 0.0)
+        else:
+            queue.dequeue()
+        assert queue.backlog_packets <= capacity
+
+
+@given(ops, capacities)
+def test_priority_queue_conservation_with_pushout(op_list, capacity):
+    queue = TwoLevelPriorityQueue(capacity)
+    flows, enq, deq = run_ops(queue, op_list)
+    backlog = 0
+    while queue.dequeue() is not None:
+        backlog += 1
+    dropped = sum(f.dropped for f in flows.values())
+    sent = sum(1 for is_enq, *_ in op_list if is_enq)
+    # Every offered packet was either eventually dequeued or dropped
+    # (push-out makes enqueue-accepted packets droppable later).
+    assert deq + backlog + dropped == sent
+    assert queue.backlog_packets == 0
+
+
+@given(ops, capacities)
+def test_priority_queue_occupancy_bounded(op_list, capacity):
+    queue = TwoLevelPriorityQueue(capacity)
+    for is_enqueue, prio, flow_id in op_list:
+        if is_enqueue:
+            kind = DATA if prio == PRIO_DATA else PROBE
+            queue.enqueue(
+                Packet(125, kind, FlowAccounting(flow_id), [], None, prio=prio), 0.0
+            )
+        else:
+            queue.dequeue()
+        assert queue.backlog_packets <= capacity
+
+
+@given(ops)
+@settings(max_examples=50)
+def test_priority_queue_data_always_served_first(op_list):
+    queue = TwoLevelPriorityQueue(100)
+    for is_enqueue, prio, flow_id in op_list:
+        if is_enqueue:
+            kind = DATA if prio == PRIO_DATA else PROBE
+            queue.enqueue(
+                Packet(125, kind, FlowAccounting(flow_id), [], None, prio=prio), 0.0
+            )
+        else:
+            pkt = queue.dequeue()
+            if pkt is not None and pkt.prio == PRIO_PROBE:
+                assert queue.backlog_at(PRIO_DATA) == 0
+
+
+@given(ops, capacities)
+@settings(max_examples=50)
+def test_fair_queueing_conservation(op_list, capacity):
+    queue = FairQueueing(capacity)
+    flows, enq, deq = run_ops(queue, op_list)
+    backlog = 0
+    while queue.dequeue() is not None:
+        backlog += 1
+    dropped = sum(f.dropped for f in flows.values())
+    sent = sum(1 for is_enq, *_ in op_list if is_enq)
+    assert deq + backlog + dropped == sent

@@ -1,0 +1,67 @@
+"""Property-based tests for traffic sources (simulation-backed)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import OutputPort
+from repro.net.packet import FlowAccounting
+from repro.net.queues import DropTailFifo
+from repro.net.sink import Sink
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import ConstantRateSource
+from repro.traffic.onoff import ExponentialOnOffSource
+
+
+@given(st.floats(min_value=8e3, max_value=1e6),
+       st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=25, deadline=None)
+def test_cbr_never_exceeds_configured_rate(rate_bps, horizon):
+    sim = Simulator()
+    port = OutputPort(sim, 1e9, DropTailFifo(100000), 0.0)
+    sink = Sink(sim)
+    flow = FlowAccounting(1)
+    src = ConstantRateSource(sim, [port], sink, flow, rate_bps, 125)
+    src.start()
+    sim.run(until=horizon)
+    src.stop()
+    # One packet of slack for the immediate first emission.
+    assert flow.bytes_sent * 8 <= rate_bps * horizon + 125 * 8 + 1e-6
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=1.0, max_value=20.0))
+@settings(max_examples=15, deadline=None)
+def test_onoff_burst_rate_is_an_upper_bound(seed, horizon):
+    sim = Simulator()
+    port = OutputPort(sim, 1e9, DropTailFifo(100000), 0.0)
+    sink = Sink(sim)
+    flow = FlowAccounting(1)
+    rng = np.random.default_rng(seed)
+    src = ExponentialOnOffSource(sim, [port], sink, flow, 256e3, 0.5, 0.5,
+                                 125, rng)
+    src.start()
+    sim.run(until=horizon)
+    src.stop()
+    # The burst rate bounds the emission rate; slack of one packet per
+    # on-period (first packet fires at period start).
+    max_periods = 2 + horizon / 0.5
+    assert flow.bytes_sent * 8 <= 256e3 * horizon + max_periods * 125 * 8
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_onoff_conserves_packets_through_a_clean_link(seed):
+    sim = Simulator()
+    port = OutputPort(sim, 1e9, DropTailFifo(100000), 0.0)
+    sink = Sink(sim)
+    flow = FlowAccounting(1)
+    rng = np.random.default_rng(seed)
+    src = ExponentialOnOffSource(sim, [port], sink, flow, 256e3, 0.5, 0.5,
+                                 125, rng)
+    src.start()
+    sim.run(until=10.0)
+    src.stop()
+    sim.run(until=11.0)  # drain in-flight packets
+    assert flow.delivered == flow.sent
+    assert flow.dropped == 0

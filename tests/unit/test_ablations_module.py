@@ -1,0 +1,40 @@
+"""Unit tests for the ablation harnesses."""
+
+import pytest
+
+from repro.experiments.ablations import stolen_bandwidth_demo
+from repro.net.queues import DropTailFifo, FairQueueing
+from repro.units import kbps, mbps
+
+
+def test_demo_returns_large_loss_and_small_losses():
+    large, small = stolen_bandwidth_demo(DropTailFifo(50), horizon=12.0)
+    assert isinstance(large, float)
+    assert len(small) == 6
+    assert all(0.0 <= s <= 1.0 for s in small)
+    assert 0.0 <= large <= 1.0
+
+
+def test_no_crowd_means_no_loss():
+    large, small = stolen_bandwidth_demo(
+        DropTailFifo(50), n_small=0, horizon=12.0
+    )
+    assert large == 0.0
+    assert small == []
+
+
+def test_underloaded_link_is_clean_for_everyone():
+    large, small = stolen_bandwidth_demo(
+        FairQueueing(50), link_rate=mbps(10), horizon=12.0
+    )
+    assert large == 0.0
+    assert all(s == 0.0 for s in small)
+
+
+def test_parameters_control_the_overload():
+    # A bigger crowd steals more under FQ.
+    mild_large, __ = stolen_bandwidth_demo(FairQueueing(100), n_small=4,
+                                           horizon=15.0)
+    harsh_large, __ = stolen_bandwidth_demo(FairQueueing(100), n_small=10,
+                                            horizon=15.0)
+    assert harsh_large >= mild_large

@@ -1,0 +1,152 @@
+"""Unit tests for the Table-1 catalog and the flow generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import FlowAccounting
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import SOURCE_CATALOG, SourceSpec, get_source_spec
+from repro.traffic.flowgen import FlowClass, FlowGenerator
+from repro.traffic.onoff import ExponentialOnOffSource, ParetoOnOffSource
+from repro.traffic.video import SyntheticVideoSource
+
+from tests.conftest import make_link
+
+
+class TestCatalog:
+    def test_table1_entries_present(self):
+        assert set(SOURCE_CATALOG) == {
+            "EXP1", "EXP2", "EXP3", "EXP4", "POO1", "STARWARS",
+        }
+
+    def test_exp1_parameters_match_table1(self):
+        spec = get_source_spec("EXP1")
+        assert spec.token_rate_bps == 256e3
+        assert spec.average_rate_bps == 128e3
+        assert spec.mean_on == 0.5
+        assert spec.mean_off == 0.5
+        assert spec.packet_bytes == 125
+
+    def test_exp2_is_the_bursty_source(self):
+        spec = get_source_spec("EXP2")
+        assert spec.token_rate_bps == 1024e3
+        assert spec.average_rate_bps == 128e3
+        assert spec.mean_on == 0.125
+
+    def test_poo1_shape(self):
+        assert get_source_spec("POO1").shape == 1.2
+
+    def test_starwars_token_bucket(self):
+        spec = get_source_spec("STARWARS")
+        assert spec.token_rate_bps == 800e3
+        assert spec.token_bucket_bytes == 25000
+        assert spec.packet_bytes == 200
+
+    def test_lookup_case_insensitive(self):
+        assert get_source_spec("exp1") is SOURCE_CATALOG["EXP1"]
+
+    def test_unknown_source(self):
+        with pytest.raises(ConfigurationError):
+            get_source_spec("NOPE")
+
+    @pytest.mark.parametrize("name,cls", [
+        ("EXP1", ExponentialOnOffSource),
+        ("POO1", ParetoOnOffSource),
+        ("STARWARS", SyntheticVideoSource),
+    ])
+    def test_build_constructs_right_source(self, sim, rng, name, cls):
+        port, sink = make_link(sim)
+        spec = get_source_spec(name)
+        src = spec.build(sim, [port], sink, FlowAccounting(1), rng)
+        assert isinstance(src, cls)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            SourceSpec(name="X", kind="bogus", token_rate_bps=1e5,
+                       token_bucket_bytes=125, average_rate_bps=1e5,
+                       packet_bytes=125)
+        with pytest.raises(ConfigurationError):
+            SourceSpec(name="X", kind="pareto_onoff", token_rate_bps=1e5,
+                       token_bucket_bytes=125, average_rate_bps=1e5,
+                       packet_bytes=125)  # missing shape
+
+
+class TestFlowGenerator:
+    def make(self, sim, classes=None, interarrival=1.0, lifetime=10.0):
+        streams = RandomStreams(3)
+        if classes is None:
+            classes = [FlowClass(label="EXP1", spec=get_source_spec("EXP1"))]
+        requests = []
+        gen = FlowGenerator(sim, streams, classes, interarrival,
+                            requests.append, lifetime_mean=lifetime)
+        return gen, requests
+
+    def test_poisson_arrival_rate(self, sim):
+        gen, requests = self.make(sim, interarrival=0.5)
+        gen.start()
+        sim.run(until=500.0)
+        # ~1000 arrivals expected; Poisson sd ~ 32.
+        assert len(requests) == pytest.approx(1000, abs=150)
+
+    def test_lifetimes_are_exponential(self, sim):
+        gen, requests = self.make(sim, interarrival=0.1, lifetime=30.0)
+        gen.start()
+        sim.run(until=200.0)
+        lifetimes = [r.lifetime for r in requests]
+        mean = sum(lifetimes) / len(lifetimes)
+        assert mean == pytest.approx(30.0, rel=0.15)
+
+    def test_flow_ids_unique_and_increasing(self, sim):
+        gen, requests = self.make(sim)
+        gen.start()
+        sim.run(until=50.0)
+        ids = [r.flow_id for r in requests]
+        assert ids == sorted(set(ids))
+
+    def test_class_mix_follows_weights(self, sim):
+        spec = get_source_spec("EXP1")
+        classes = [
+            FlowClass(label="a", spec=spec, weight=3.0),
+            FlowClass(label="b", spec=spec, weight=1.0),
+        ]
+        gen, requests = self.make(sim, classes=classes, interarrival=0.05)
+        gen.start()
+        sim.run(until=200.0)
+        labels = [r.label for r in requests]
+        fraction_a = labels.count("a") / len(labels)
+        assert fraction_a == pytest.approx(0.75, abs=0.03)
+
+    def test_stop_halts_arrivals(self, sim):
+        gen, requests = self.make(sim)
+        gen.start()
+        sim.run(until=20.0)
+        gen.stop()
+        n = len(requests)
+        sim.run(until=100.0)
+        assert len(requests) == n
+
+    def test_validation(self, sim):
+        streams = RandomStreams(1)
+        spec = get_source_spec("EXP1")
+        with pytest.raises(ConfigurationError):
+            FlowGenerator(sim, streams, [], 1.0, lambda r: None)
+        with pytest.raises(ConfigurationError):
+            FlowGenerator(sim, streams,
+                          [FlowClass(label="x", spec=spec)], 0.0, lambda r: None)
+        with pytest.raises(ConfigurationError):
+            FlowGenerator(sim, streams,
+                          [FlowClass(label="x", spec=spec)], 1.0,
+                          lambda r: None, lifetime_mean=0)
+        with pytest.raises(ConfigurationError):
+            FlowGenerator(sim, streams,
+                          [FlowClass(label="x", spec=spec, weight=0.0)], 1.0,
+                          lambda r: None)
+
+    def test_request_exposes_spec_and_label(self, sim):
+        gen, requests = self.make(sim)
+        gen.start()
+        sim.run(until=10.0)
+        request = requests[0]
+        assert request.spec is get_source_spec("EXP1")
+        assert request.label == "EXP1"
+        assert request.arrival_time <= 10.0

@@ -1,0 +1,80 @@
+"""Unit tests for CLI command handlers (simulation calls stubbed)."""
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments.runner import MbacConfig, ScenarioResult
+
+
+@pytest.fixture
+def canned_result():
+    return ScenarioResult(
+        controller_name="drop/in-band/slow-start", seed=1,
+        utilization=0.85, loss_probability=3.2e-3, blocking_probability=0.21,
+        offered=100, admitted=79,
+        per_class={"EXP1": {"blocking_probability": 0.21,
+                            "loss_probability": 3.2e-3}},
+    )
+
+
+def test_run_command_prints_metrics(monkeypatch, capsys, canned_result):
+    captured = {}
+
+    def fake_run(config, spec):
+        captured["config"] = config
+        captured["spec"] = spec
+        return canned_result
+
+    monkeypatch.setattr(cli, "run_scenario", fake_run)
+    assert cli.main(["run", "basic", "--design", "drop/in-band",
+                     "--epsilon", "0.02", "--scale", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "utilization: 0.8500" in out
+    assert "blocking   : 0.2100 (21/100)" in out
+    assert "class EXP1" in out
+    assert captured["spec"].epsilon == 0.02
+    assert captured["config"].interarrival == 3.5
+
+
+def test_run_command_mbac(monkeypatch, capsys, canned_result):
+    captured = {}
+    monkeypatch.setattr(
+        cli, "run_scenario",
+        lambda config, spec: captured.update(spec=spec) or canned_result,
+    )
+    assert cli.main(["run", "basic", "--mbac", "0.95"]) == 0
+    assert isinstance(captured["spec"], MbacConfig)
+    assert captured["spec"].target_utilization == 0.95
+
+
+def test_run_command_no_controller(monkeypatch, capsys, canned_result):
+    captured = {}
+    monkeypatch.setattr(
+        cli, "run_scenario",
+        lambda config, spec: captured.update(spec=spec) or canned_result,
+    )
+    assert cli.main(["run", "basic"]) == 0
+    assert captured["spec"] is None
+
+
+def test_run_command_unknown_scenario(capsys):
+    assert cli.main(["run", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_command_bad_design(capsys):
+    assert cli.main(["run", "basic", "--design", "sideways"]) == 2
+    assert "bad design" in capsys.readouterr().err
+
+
+def test_figure_command_uses_registry(monkeypatch, capsys):
+    calls = []
+
+    class Fake:
+        text = "FAKE FIGURE TEXT"
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "figure2",
+                        lambda scale=None: calls.append(scale) or Fake())
+    assert cli.main(["figure", "figure2", "--scale", "0.02"]) == 0
+    assert calls == [0.02]
+    assert "FAKE FIGURE TEXT" in capsys.readouterr().out

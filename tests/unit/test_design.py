@@ -1,0 +1,141 @@
+"""Unit tests for the endpoint-design configuration."""
+
+import pytest
+
+from repro.core.design import (
+    IN_BAND_EPSILONS,
+    OUT_OF_BAND_EPSILONS,
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+    all_designs,
+)
+from repro.errors import ConfigurationError
+from repro.net.packet import PRIO_DATA, PRIO_PROBE
+from repro.net.queues import DropTailFifo, TwoLevelPriorityQueue
+
+
+def test_defaults():
+    design = EndpointDesign()
+    assert design.signal is CongestionSignal.DROP
+    assert design.band is ProbeBand.IN_BAND
+    assert design.probing is ProbingScheme.SLOW_START
+    assert design.probe_duration == 5.0
+
+
+def test_probe_priority_follows_band():
+    assert EndpointDesign(band=ProbeBand.IN_BAND).probe_prio == PRIO_DATA
+    assert EndpointDesign(band=ProbeBand.OUT_OF_BAND).probe_prio == PRIO_PROBE
+
+
+def test_name_is_readable():
+    design = EndpointDesign(CongestionSignal.MARK, ProbeBand.OUT_OF_BAND,
+                            ProbingScheme.SIMPLE)
+    assert design.name == "mark/out-of-band/simple"
+
+
+def test_default_epsilon_sweeps():
+    assert EndpointDesign(band=ProbeBand.IN_BAND).default_epsilons == IN_BAND_EPSILONS
+    assert (EndpointDesign(band=ProbeBand.OUT_OF_BAND).default_epsilons
+            == OUT_OF_BAND_EPSILONS)
+
+
+def test_with_epsilon_and_probing_copy():
+    base = EndpointDesign()
+    changed = base.with_epsilon(0.03).with_probing(ProbingScheme.SIMPLE)
+    assert changed.epsilon == 0.03
+    assert changed.probing is ProbingScheme.SIMPLE
+    assert base.epsilon == 0.0  # original untouched
+
+
+def test_designs_are_hashable_and_frozen():
+    design = EndpointDesign()
+    {design: 1}
+    with pytest.raises(AttributeError):
+        design.epsilon = 0.5
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(epsilon=1.0)
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(epsilon=-0.1)
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(probe_duration=0)
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(settle_time=-1)
+
+
+def test_qdisc_factory_in_band_drop_is_plain_fifo():
+    design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND)
+    qdisc = design.qdisc_factory(10e6, 200)()
+    assert isinstance(qdisc, DropTailFifo)
+    assert qdisc.marker is None
+
+
+def test_qdisc_factory_in_band_mark_has_virtual_queue():
+    design = EndpointDesign(CongestionSignal.MARK, ProbeBand.IN_BAND)
+    qdisc = design.qdisc_factory(10e6, 200)()
+    assert isinstance(qdisc, DropTailFifo)
+    assert qdisc.marker is not None
+
+
+def test_qdisc_factory_out_of_band_drop():
+    design = EndpointDesign(CongestionSignal.DROP, ProbeBand.OUT_OF_BAND)
+    qdisc = design.qdisc_factory(10e6, 200)()
+    assert isinstance(qdisc, TwoLevelPriorityQueue)
+    assert qdisc.data_marker is None
+    assert qdisc.probe_marker is None
+
+
+def test_qdisc_factory_out_of_band_mark_has_two_virtual_queues():
+    design = EndpointDesign(CongestionSignal.MARK, ProbeBand.OUT_OF_BAND)
+    qdisc = design.qdisc_factory(10e6, 200)()
+    assert isinstance(qdisc, TwoLevelPriorityQueue)
+    assert qdisc.data_marker is not None
+    assert qdisc.probe_marker is not None
+
+
+def test_factory_builds_fresh_instances():
+    factory = EndpointDesign().qdisc_factory(10e6, 200)
+    assert factory() is not factory()
+
+
+def test_all_designs_covers_the_matrix():
+    designs = all_designs()
+    assert len(designs) == 4
+    combos = {(d.signal, d.band) for d in designs}
+    assert len(combos) == 4
+    assert all(d.probing is ProbingScheme.SLOW_START for d in designs)
+
+
+def test_red_queue_discipline():
+    from repro.net.queues import RedFifo
+
+    design = EndpointDesign(queue_discipline="red")
+    qdisc = design.qdisc_factory(10e6, 200)()
+    assert isinstance(qdisc, RedFifo)
+
+
+def test_red_requires_in_band():
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(band=ProbeBand.OUT_OF_BAND, queue_discipline="red")
+    with pytest.raises(ConfigurationError):
+        EndpointDesign(queue_discipline="codel")
+
+
+def test_early_abort_disabled_probes_full_duration():
+    """With early_abort=False a hopeless simple probe runs all 5 seconds."""
+    from tests.unit.test_endpoint_agent import offer, setup
+    from repro.units import kbps
+
+    design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                            ProbingScheme.SIMPLE, early_abort=False)
+    sim, net, port, controller = setup(design, link_rate=kbps(100),
+                                       buffer_packets=5)
+    offer(controller)
+    sim.run(until=20.0)
+    outcome = controller.outcomes[0]
+    assert not outcome.admitted
+    assert outcome.decision_time == pytest.approx(5.1, abs=0.05)

@@ -1,0 +1,237 @@
+"""Unit tests for the endpoint agent state machine (probe -> decide -> data)."""
+
+import pytest
+
+from repro.core.controller import EndpointAdmissionControl
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.net.topology import single_link
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import get_source_spec
+from repro.traffic.flowgen import FlowClass, FlowRequest
+from repro.units import kbps, mbps
+
+
+def setup(design, link_rate=mbps(10), seed=1, buffer_packets=200):
+    """A single-link network with an EAC controller for the design."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    network, port = single_link(
+        sim, link_rate, design.qdisc_factory(link_rate, buffer_packets), 0.020
+    )
+    controller = EndpointAdmissionControl(sim, network, design, streams)
+    return sim, network, port, controller
+
+
+def offer(controller, source="EXP1", lifetime=60.0, epsilon=None, flow_id=1):
+    spec = get_source_spec(source)
+    cls = FlowClass(label=source, spec=spec, epsilon=epsilon)
+    request = FlowRequest(flow_id=flow_id, cls=cls, arrival_time=0.0,
+                          lifetime=lifetime)
+    controller.handle(request)
+    return request
+
+
+DROP_IN_BAND = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                              ProbingScheme.SIMPLE)
+
+
+class TestAdmission:
+    def test_uncongested_flow_admitted(self):
+        sim, net, port, controller = setup(DROP_IN_BAND)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.admitted
+        # Decision after the 5 s probe plus settle time.
+        assert outcome.decision_time == pytest.approx(5.1, abs=0.05)
+        assert outcome.probe["sent"] > 0
+        assert outcome.probe["dropped"] == 0
+
+    def test_probe_traffic_is_probe_kind(self):
+        sim, net, port, controller = setup(DROP_IN_BAND)
+        offer(controller)
+        sim.run(until=4.0)
+        assert port.stats.probe_packets > 0
+        assert port.stats.data_packets == 0
+
+    def test_data_phase_follows_admission(self):
+        sim, net, port, controller = setup(DROP_IN_BAND)
+        offer(controller, lifetime=30.0)
+        sim.run(until=20.0)
+        assert port.stats.data_packets > 0
+        outcome = controller.outcomes[0]
+        assert outcome.data is not None
+        assert outcome.data.sent > 0
+
+    def test_data_stops_at_lifetime(self):
+        sim, net, port, controller = setup(DROP_IN_BAND)
+        offer(controller, lifetime=10.0)
+        # Lifetime expires 10 s after admission (~15.1 s absolute).
+        sim.run(until=16.0)
+        outcome = controller.outcomes[0]
+        assert outcome.end_time == pytest.approx(15.1, abs=0.05)
+        sent_at_end = outcome.data.sent
+        sim.run(until=40.0)
+        assert outcome.data.sent == sent_at_end
+
+    def test_congested_link_rejects_at_epsilon_zero(self):
+        # Probe at 256 kbps against a 100 kbps link: heavy probe loss.
+        sim, net, port, controller = setup(DROP_IN_BAND, link_rate=kbps(100),
+                                           buffer_packets=5)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert not outcome.admitted
+        assert outcome.data is None
+        assert outcome.end_time is not None
+
+    def test_simple_probe_aborts_early_on_hopeless_loss(self):
+        sim, net, port, controller = setup(DROP_IN_BAND, link_rate=kbps(100),
+                                           buffer_packets=5)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        # The paper's rule: stop as soon as the loss budget is exhausted —
+        # far fewer probe packets than the planned 5 s worth (1280).
+        assert outcome.decision_time < 2.0
+        assert outcome.probe["sent"] < 400
+
+    def test_class_epsilon_overrides_design(self):
+        # Tolerant threshold on a mildly lossy link: admitted despite drops.
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.SIMPLE, epsilon=0.0)
+        sim, net, port, controller = setup(design, link_rate=kbps(230),
+                                           buffer_packets=50)
+        offer(controller, epsilon=0.9)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.epsilon == 0.9
+        assert outcome.admitted
+        assert outcome.probe["dropped"] > 0
+
+
+class TestSlowStart:
+    def test_probe_rate_ramps_up(self):
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.SLOW_START)
+        sim, net, port, controller = setup(design)
+        offer(controller)
+
+        counts = []
+        last = [0]
+
+        def snapshot():
+            counts.append(port.stats.probe_packets - last[0])
+            last[0] = port.stats.probe_packets
+
+        for k in range(1, 6):
+            sim.schedule_at(k * 1.0, snapshot)
+        sim.run(until=6.0)
+        # EXP1 probes at 256 kbps -> 256 pkt/s at full rate; slow start
+        # sends r/16, r/8, r/4, r/2, r over the five seconds.
+        assert counts[0] == pytest.approx(16, abs=3)
+        assert counts[4] == pytest.approx(256, abs=10)
+        for a, b in zip(counts, counts[1:]):
+            assert b > a
+
+    def test_slow_start_sends_far_fewer_probe_packets(self):
+        slow = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                              ProbingScheme.SLOW_START)
+        simple = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.SIMPLE)
+        sent = {}
+        for design in (slow, simple):
+            sim, net, port, controller = setup(design)
+            offer(controller)
+            sim.run(until=10.0)
+            sent[design.probing] = controller.outcomes[0].probe["sent"]
+        # Slow start sends r*(1/16+1/8+1/4+1/2+1)/5 = 38.75% of simple's load.
+        ratio = sent[ProbingScheme.SLOW_START] / sent[ProbingScheme.SIMPLE]
+        assert ratio == pytest.approx(0.3875, abs=0.02)
+
+    def test_slow_start_rejects_mid_ramp_without_full_rate_probe(self):
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.SLOW_START)
+        sim, net, port, controller = setup(design, link_rate=kbps(20),
+                                           buffer_packets=3)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert not outcome.admitted
+        assert outcome.decision_time <= 4.0  # rejected before the last step
+
+
+class TestEarlyReject:
+    def test_rejects_at_interval_boundary(self):
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.EARLY_REJECT)
+        sim, net, port, controller = setup(design, link_rate=kbps(100),
+                                           buffer_packets=5)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert not outcome.admitted
+        assert outcome.decision_time == pytest.approx(1.0, abs=0.05)
+
+    def test_admits_clean_flow_after_full_probe(self):
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.EARLY_REJECT)
+        sim, net, port, controller = setup(design)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.admitted
+        assert outcome.decision_time == pytest.approx(5.1, abs=0.05)
+
+
+class TestMarkingSignal:
+    def test_marks_cause_rejection_without_drops(self):
+        design = EndpointDesign(CongestionSignal.MARK, ProbeBand.IN_BAND,
+                                ProbingScheme.SIMPLE, epsilon=0.0)
+        # Probe at 256 kbps on a 260 kbps link: the 90% virtual queue (234
+        # kbps) congests and marks, but the real queue never drops.  The
+        # small buffer lets the virtual backlog hit its cap within the probe.
+        sim, net, port, controller = setup(design, link_rate=kbps(260),
+                                           buffer_packets=20)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert not outcome.admitted
+        assert outcome.probe["marked"] > 0
+        assert outcome.probe["dropped"] == 0
+
+    def test_drop_design_ignores_marks(self):
+        # Same scenario but a DROP design on a mark-capable queue: since the
+        # drop design's queue has no marker, the flow sees no congestion.
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                                ProbingScheme.SIMPLE, epsilon=0.0)
+        sim, net, port, controller = setup(design, link_rate=kbps(260),
+                                           buffer_packets=20)
+        offer(controller)
+        sim.run(until=20.0)
+        assert controller.outcomes[0].admitted
+
+
+class TestOutOfBand:
+    def test_probes_ride_lower_priority(self):
+        design = EndpointDesign(CongestionSignal.DROP, ProbeBand.OUT_OF_BAND,
+                                ProbingScheme.SIMPLE)
+        sim, net, port, controller = setup(design)
+        offer(controller)
+        sim.run(until=3.0)
+        assert port.qdisc.backlog_at(1) >= 0  # probe level exists
+        assert port.stats.probe_packets > 0
+
+    def test_probe_fraction_recorded(self):
+        sim, net, port, controller = setup(DROP_IN_BAND, link_rate=kbps(100),
+                                           buffer_packets=5)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.probe_fraction > 0.0

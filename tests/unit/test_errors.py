@@ -1,0 +1,36 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+@pytest.mark.parametrize("exc", [
+    SimulationError, ConfigurationError, TopologyError, ModelError,
+])
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)
+    assert not issubclass(ReproError, BaseException) or issubclass(
+        ReproError, Exception
+    )
+
+
+def test_catching_family_does_not_mask_programming_errors():
+    try:
+        raise TypeError("not ours")
+    except ReproError:  # pragma: no cover - must not happen
+        pytest.fail("ReproError caught a TypeError")
+    except TypeError:
+        pass

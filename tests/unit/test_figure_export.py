@@ -1,0 +1,41 @@
+"""Unit tests for FigureResult serialization."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.figures import FigureResult, _jsonable, figure1
+from repro.experiments.lossload import LossLoadCurve, LossLoadPoint
+
+
+def test_loss_load_curve_serializes():
+    curve = LossLoadCurve("demo", [LossLoadPoint(0.01, 0.85, 1e-3, 0.2)])
+    data = _jsonable(curve)
+    assert data["label"] == "demo"
+    assert data["points"][0]["utilization"] == 0.85
+    json.dumps(data)
+
+
+def test_nested_containers_serialize():
+    curve = LossLoadCurve("x", [])
+    data = _jsonable({"panel": [curve, 1, "s", None]})
+    json.dumps(data)
+    assert data["panel"][0]["label"] == "x"
+
+
+def test_figure1_round_trips_through_json():
+    result = figure1()
+    blob = json.dumps(result.to_dict())
+    parsed = json.loads(blob)
+    assert parsed["name"] == "figure1"
+    assert len(parsed["data"]) == 10
+    assert parsed["data"][0]["utilization"] > 0.8
+
+
+def test_save_writes_text_and_json(tmp_path):
+    result = FigureResult("demo", "d", {"a": 1}, "TEXT")
+    path = str(tmp_path / "demo.txt")
+    result.save(path)
+    assert open(path).read().strip() == "TEXT"
+    assert json.load(open(path + ".json"))["data"] == {"a": 1}

@@ -1,0 +1,81 @@
+"""Unit tests for the figure-harness helpers (no simulations)."""
+
+import pytest
+
+from repro.core.design import (
+    IN_BAND_EPSILONS,
+    OUT_OF_BAND_EPSILONS,
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+)
+from repro.experiments.figures import (
+    FIGURE8_PANELS,
+    FIGURE9_SCENARIOS,
+    FIXED_EPS_IN_BAND,
+    FIXED_EPS_OUT_OF_BAND,
+    bench_epsilons,
+    bench_mbac_targets,
+    figure1,
+    fixed_epsilon,
+    multihop_classes,
+    multihop_config,
+)
+
+IN_BAND = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND)
+OUT_BAND = EndpointDesign(CongestionSignal.DROP, ProbeBand.OUT_OF_BAND)
+
+
+def test_full_scale_uses_paper_sweeps():
+    assert bench_epsilons(IN_BAND, 1.0) == IN_BAND_EPSILONS
+    assert bench_epsilons(OUT_BAND, 1.0) == OUT_OF_BAND_EPSILONS
+
+
+def test_small_scale_sweeps_include_fixed_epsilon():
+    for design in (IN_BAND, OUT_BAND):
+        eps = bench_epsilons(design, 0.01)
+        assert 0.0 in eps
+        assert fixed_epsilon(design) in eps
+        assert len(eps) < len(design.default_epsilons)
+
+
+def test_fixed_epsilons_match_paper_section_43():
+    assert fixed_epsilon(IN_BAND) == FIXED_EPS_IN_BAND == 0.01
+    assert fixed_epsilon(OUT_BAND) == FIXED_EPS_OUT_OF_BAND == 0.05
+
+
+def test_mbac_targets_by_scale():
+    assert len(bench_mbac_targets(1.0)) == 5
+    assert len(bench_mbac_targets(0.01)) == 3
+
+
+def test_figure8_panel_names_are_table2_scenarios():
+    from repro.experiments.scenarios import SCENARIOS
+
+    assert set(FIGURE8_PANELS) <= set(SCENARIOS)
+    assert len(FIGURE8_PANELS) == 6  # panels (a)-(f)
+
+
+def test_figure9_covers_eight_scenarios():
+    assert len(FIGURE9_SCENARIOS) == 8
+    assert "high-load" in FIGURE9_SCENARIOS
+
+
+def test_multihop_classes_shape():
+    classes = multihop_classes()
+    assert [c.label for c in classes] == ["long", "short0", "short1", "short2"]
+    long = classes[0]
+    assert (long.src, long.dst) == ("b0", "b3")
+
+
+def test_multihop_config_is_parking_lot():
+    config = multihop_config(scale=0.01)
+    assert config.topology == "parking-lot"
+    assert config.interarrival == pytest.approx(1.8)
+
+
+def test_figure1_result_renders():
+    result = figure1()
+    assert result.name == "figure1"
+    assert "utilization" in result.text
+    assert str(result) == result.text

@@ -1,0 +1,147 @@
+"""Unit tests for the Measured Sum MBAC benchmark."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mbac.estimator import TimeWindowEstimator
+from repro.mbac.measured_sum import MeasuredSumController
+from repro.net.queues import DropTailFifo
+from repro.net.topology import parking_lot, single_link
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import get_source_spec
+from repro.traffic.flowgen import FlowClass, FlowRequest
+from repro.units import kbps, mbps
+
+from tests.conftest import make_link, send_packets
+
+
+def request(flow_id, source="EXP1", lifetime=60.0, src="src", dst="dst"):
+    spec = get_source_spec(source)
+    cls = FlowClass(label=source, spec=spec, src=src, dst=dst)
+    return FlowRequest(flow_id=flow_id, cls=cls, arrival_time=0.0,
+                       lifetime=lifetime)
+
+
+class TestTimeWindowEstimator:
+    def test_idle_link_estimates_zero(self, sim):
+        port, sink = make_link(sim, rate_bps=mbps(10))
+        est = TimeWindowEstimator(sim, port, sample_period=0.1, window_samples=5)
+        est.start()
+        sim.run(until=2.0)
+        assert est.estimate_bps == 0.0
+        assert est.samples_taken > 0
+
+    def test_measures_constant_load(self, sim):
+        port, sink = make_link(sim, rate_bps=mbps(10), capacity=1000)
+        est = TimeWindowEstimator(sim, port, sample_period=0.5, window_samples=4)
+        est.start()
+        from repro.net.packet import FlowAccounting
+        from repro.traffic.cbr import ConstantRateSource
+
+        flow = FlowAccounting(1)
+        src = ConstantRateSource(sim, [port], sink, flow, kbps(500), 125)
+        src.start()
+        sim.run(until=5.0)
+        src.stop()
+        assert est.estimate_bps == pytest.approx(500e3, rel=0.1)
+
+    def test_window_is_a_maximum(self, sim):
+        port, sink = make_link(sim, rate_bps=mbps(10), capacity=10000)
+        est = TimeWindowEstimator(sim, port, sample_period=0.1, window_samples=20)
+        est.start()
+        send_packets(sim, port, sink, 200)  # one instantaneous burst
+        sim.run(until=1.0)
+        # The burst dominates the max for the whole 2-second window.
+        assert est.estimate_bps > 0
+
+    def test_admit_boosts_estimate(self, sim):
+        port, sink = make_link(sim)
+        est = TimeWindowEstimator(sim, port)
+        est.admit(128e3)
+        assert est.estimate_bps == 128e3
+
+    def test_boost_decays_after_window(self, sim):
+        port, sink = make_link(sim)
+        est = TimeWindowEstimator(sim, port, sample_period=0.1, window_samples=3)
+        est.start()
+        est.admit(500e3)
+        sim.run(until=1.0)
+        # No actual traffic appeared, so measurements wash the boost out.
+        assert est.estimate_bps == 0.0
+
+    def test_validation(self, sim):
+        port, sink = make_link(sim)
+        with pytest.raises(ConfigurationError):
+            TimeWindowEstimator(sim, port, sample_period=0)
+        with pytest.raises(ConfigurationError):
+            TimeWindowEstimator(sim, port, window_samples=0)
+
+
+class TestMeasuredSumController:
+    def setup_controller(self, target=0.9, link_rate=mbps(10)):
+        sim = Simulator()
+        streams = RandomStreams(2)
+        network, port = single_link(sim, link_rate, lambda: DropTailFifo(200),
+                                    0.020)
+        controller = MeasuredSumController(sim, network, streams,
+                                           target_utilization=target)
+        return sim, network, port, controller
+
+    def test_admits_on_idle_link(self):
+        sim, net, port, controller = self.setup_controller()
+        controller.handle(request(1))
+        assert controller.outcomes[0].admitted
+        sim.run(until=1.0)
+        assert port.stats.data_packets > 0
+
+    def test_decision_is_instantaneous(self):
+        sim, net, port, controller = self.setup_controller()
+        controller.handle(request(1))
+        # Decided at t=0 with no probing phase at all.
+        assert controller.outcomes[0].decision_time == 0.0
+
+    def test_simultaneous_requests_serialized_by_boost(self):
+        # 10 requests of 256 kbps against 0.9 * 2 Mbps = 1.8 Mbps: only 7
+        # fit by declared rate; the admission-time boost must reject the
+        # rest even though no measurement has happened yet.
+        sim, net, port, controller = self.setup_controller(link_rate=mbps(2))
+        for i in range(10):
+            controller.handle(request(i))
+        admitted = sum(o.admitted for o in controller.outcomes)
+        assert admitted == 7
+
+    def test_rejects_when_link_busy(self):
+        sim, net, port, controller = self.setup_controller(link_rate=kbps(300))
+        controller.handle(request(1))
+        assert controller.outcomes[0].admitted
+        sim.run(until=5.0)
+        controller.handle(request(2))
+        # Second flow: measured load (~128k) + boost decay, +256k > 270k.
+        assert not controller.outcomes[1].admitted
+
+    def test_multi_hop_requires_all_links(self):
+        sim = Simulator()
+        streams = RandomStreams(2)
+        network, backbone = parking_lot(sim, kbps(300),
+                                        lambda: DropTailFifo(200), 0.020)
+        controller = MeasuredSumController(sim, network, streams,
+                                           target_utilization=0.9)
+        # Fill link 1 with a cross flow so the long flow fails at that hop.
+        controller.handle(request(1, src="in1", dst="out1"))
+        controller.handle(request(2, src="b0", dst="b3"))
+        outcomes = {o.flow_id: o for o in controller.outcomes}
+        assert outcomes[1].admitted
+        assert not outcomes[2].admitted
+        # A cross flow on a different hop is still admissible.
+        controller.handle(request(3, src="in2", dst="out2"))
+        assert controller.outcomes[-1].admitted
+
+    def test_target_validation(self):
+        sim = Simulator()
+        streams = RandomStreams(2)
+        network, __ = single_link(sim, mbps(10), lambda: DropTailFifo(10), 0.0)
+        with pytest.raises(ConfigurationError):
+            MeasuredSumController(sim, network, streams, target_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            MeasuredSumController(sim, network, streams, target_utilization=2.0)

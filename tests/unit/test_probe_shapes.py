@@ -1,0 +1,107 @@
+"""Unit tests for the Section-3.1 probe-shape refinements."""
+
+import pytest
+
+from repro.core.design import EndpointDesign, ProbeShape, ProbingScheme
+from repro.errors import ConfigurationError
+from repro.net.packet import FlowAccounting, PROBE
+from repro.traffic.burst import BurstProbeSource, effective_probe_rate
+from repro.units import kbps
+
+from tests.conftest import make_link
+from tests.unit.test_probe_plan import make_agent
+
+
+class TestBurstProbeSource:
+    def make(self, sim, port, sink, rate=kbps(800), bucket=25000, packet=200):
+        flow = FlowAccounting(1)
+        src = BurstProbeSource(sim, [port], sink, flow, rate, bucket, packet,
+                               kind=PROBE)
+        return src, flow
+
+    def test_burst_size_matches_bucket(self, sim):
+        port, sink = make_link(sim, rate_bps=1e9, capacity=100000)
+        src, flow = self.make(sim, port, sink)
+        assert src.burst_packets == 125  # 25000 / 200
+
+    def test_bursts_are_instantaneous(self, sim):
+        port, sink = make_link(sim, rate_bps=1e9, capacity=100000)
+        src, flow = self.make(sim, port, sink)
+        src.start()
+        sim.step()  # nothing else scheduled yet at t=0 beyond the burst
+        assert flow.sent == 125  # whole burst emitted at one instant
+
+    def test_average_rate_matches_token_rate(self, sim):
+        port, sink = make_link(sim, rate_bps=1e9, capacity=1000000)
+        src, flow = self.make(sim, port, sink)
+        src.start()
+        horizon = 20.0
+        sim.run(until=horizon)
+        src.stop()
+        rate = flow.bytes_sent * 8 / horizon
+        assert rate == pytest.approx(800e3, rel=0.05)
+
+    def test_gap_is_bucket_over_rate(self, sim):
+        port, sink = make_link(sim)
+        src, __ = self.make(sim, port, sink)
+        assert src.gap == pytest.approx(25000 * 8 / 800e3)
+
+    def test_set_rate_rescales_gap(self, sim):
+        port, sink = make_link(sim)
+        src, __ = self.make(sim, port, sink)
+        gap = src.gap
+        src.set_rate(kbps(400))
+        assert src.gap == pytest.approx(2 * gap)
+
+    def test_validation(self, sim):
+        port, sink = make_link(sim)
+        flow = FlowAccounting(1)
+        with pytest.raises(ConfigurationError):
+            BurstProbeSource(sim, [port], sink, flow, 0, 25000, 200)
+        with pytest.raises(ConfigurationError):
+            BurstProbeSource(sim, [port], sink, flow, 1e5, 100, 200)
+
+    def test_stop_halts(self, sim):
+        port, sink = make_link(sim, rate_bps=1e9, capacity=100000)
+        src, flow = self.make(sim, port, sink)
+        src.start()
+        sim.run(until=1.0)
+        src.stop()
+        sent = flow.sent
+        sim.run(until=5.0)
+        assert flow.sent == sent
+
+
+class TestEffectiveRate:
+    def test_formula(self):
+        # r + b/T: 800k + 25000*8/5 = 840 kbps.
+        assert effective_probe_rate(kbps(800), 25000, 5.0) == pytest.approx(840e3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_probe_rate(0, 25000, 5.0)
+
+
+class TestAgentIntegration:
+    def test_bursty_shape_uses_burst_source(self):
+        design = EndpointDesign(probing=ProbingScheme.SIMPLE,
+                                probe_shape=ProbeShape.BURSTY)
+        agent = make_agent(design, source="STARWARS")
+        assert isinstance(agent._probe_source, BurstProbeSource)
+
+    def test_effective_rate_scales_probe_plan(self):
+        smooth = make_agent(EndpointDesign(probing=ProbingScheme.SIMPLE),
+                            source="STARWARS")
+        effective = make_agent(
+            EndpointDesign(probing=ProbingScheme.SIMPLE,
+                           probe_shape=ProbeShape.EFFECTIVE_RATE),
+            source="STARWARS",
+        )
+        # 840/800 = 1.05x more probe packets planned.
+        assert effective._planned_packets == pytest.approx(
+            1.05 * smooth._planned_packets, rel=0.01
+        )
+
+    def test_smooth_is_the_default(self):
+        agent = make_agent(EndpointDesign())
+        assert not isinstance(agent._probe_source, BurstProbeSource)

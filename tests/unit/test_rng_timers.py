@@ -1,0 +1,96 @@
+"""Unit tests for random streams and timers."""
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import Timer
+
+
+class TestRandomStreams:
+    def test_same_label_returns_same_generator(self, streams):
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_labels_are_independent_streams(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_instances(self):
+        one = RandomStreams(42).get("arrivals").random(10)
+        two = RandomStreams(42).get("arrivals").random(10)
+        assert list(one) == list(two)
+
+    def test_different_seeds_differ(self):
+        one = RandomStreams(1).get("x").random(10)
+        two = RandomStreams(2).get("x").random(10)
+        assert list(one) != list(two)
+
+    def test_label_order_does_not_perturb_streams(self):
+        fwd = RandomStreams(9)
+        fwd.get("first")
+        a1 = fwd.get("second").random(5)
+        rev = RandomStreams(9)
+        a2 = rev.get("second").random(5)
+        assert list(a1) == list(a2)
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(5).spawn("child").get("x").random(5)
+        b = RandomStreams(5).spawn("child").get("x").random(5)
+        assert list(a) == list(b)
+
+    def test_seed_property(self):
+        assert RandomStreams(17).seed == 17
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_supersedes_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.restart(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(1.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stop_idle_timer_is_harmless(self, sim):
+        Timer(sim, lambda: None).stop()
+
+    def test_running_and_deadline(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        assert timer.deadline is None
+        timer.start(3.0)
+        assert timer.running
+        assert timer.deadline == 3.0
+        sim.run()
+        assert not timer.running
+
+    def test_timer_args(self, sim):
+        got = []
+        timer = Timer(sim, lambda a, b: got.append((a, b)), 1, 2)
+        timer.start(1.0)
+        sim.run()
+        assert got == [(1, 2)]
+
+    def test_restart_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]

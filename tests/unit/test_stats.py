@@ -1,0 +1,71 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.series import PeriodicSampler
+from repro.stats.summary import RunningStats, summarize
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 2.0, 500)
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data, ddof=1)))
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.mean == 3.0
+        assert stats.variance == 0.0
+        assert stats.confidence_halfwidth() == 0.0
+
+    def test_confidence_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small, large = RunningStats(), RunningStats()
+        small.extend(rng.normal(0, 1, 10))
+        large.extend(rng.normal(0, 1, 1000))
+        assert large.confidence_halfwidth() < small.confidence_halfwidth()
+
+    def test_summarize(self):
+        out = summarize([1.0, 2.0, 3.0])
+        assert out["n"] == 3
+        assert out["mean"] == pytest.approx(2.0)
+        assert out["stddev"] == pytest.approx(1.0)
+
+    def test_summarize_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestPeriodicSampler:
+    def test_samples_at_period(self, sim):
+        values = iter(range(100))
+        sampler = PeriodicSampler(sim, lambda: next(values), period=1.0)
+        sim.run(until=5.5)
+        assert sampler.times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert sampler.values == [0, 1, 2, 3, 4]
+
+    def test_start_offset(self, sim):
+        sampler = PeriodicSampler(sim, lambda: sim.now, period=2.0, start=10.0)
+        sim.run(until=15.0)
+        assert sampler.times == [12.0, 14.0]
+
+    def test_deltas(self, sim):
+        counter = [0]
+
+        def grow():
+            counter[0] += 10
+            return counter[0]
+
+        sampler = PeriodicSampler(sim, grow, period=1.0)
+        sim.run(until=3.5)
+        assert sampler.deltas() == [10.0, 10.0, 10.0]
+
+    def test_invalid_period(self, sim):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(sim, lambda: 0.0, period=0.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the token bucket and the synthetic video source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import FlowAccounting
+from repro.traffic.token_bucket import TokenBucket
+from repro.traffic.video import (
+    FRAME_RATE,
+    GOP_PATTERN,
+    SyntheticVideoSource,
+    VideoTraceModel,
+)
+
+from tests.conftest import make_link
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        tb = TokenBucket(rate_bps=8e3, bucket_bytes=1000)
+        assert tb.conforms(1000, now=0.0)
+
+    def test_empties_and_refills(self):
+        tb = TokenBucket(rate_bps=8e3, bucket_bytes=1000)  # 1000 B/s
+        assert tb.conforms(1000, 0.0)
+        assert not tb.conforms(1, 0.0)
+        assert tb.conforms(500, 0.5)
+
+    def test_never_exceeds_bucket_depth(self):
+        tb = TokenBucket(rate_bps=8e3, bucket_bytes=1000)
+        tb.conforms(0, 100.0)  # long idle: tokens capped at depth
+        assert tb.tokens == 1000.0
+
+    def test_conformance_bound(self):
+        """Accepted bytes over [0, t] never exceed b + r*t (the TB contract)."""
+        rng = np.random.default_rng(1)
+        tb = TokenBucket(rate_bps=8e4, bucket_bytes=500)  # 10 kB/s
+        accepted = 0
+        now = 0.0
+        for __ in range(2000):
+            now += float(rng.exponential(0.001))
+            if tb.conforms(125, now):
+                accepted += 125
+            assert accepted <= 500 + 10e3 * now + 1e-6
+
+    def test_counters(self):
+        tb = TokenBucket(rate_bps=8e3, bucket_bytes=250)
+        tb.conforms(125, 0.0)
+        tb.conforms(125, 0.0)
+        tb.conforms(125, 0.0)
+        assert tb.conforming == 2
+        assert tb.nonconforming == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0, 100)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1e6, 0)
+
+
+class TestVideoTraceModel:
+    def test_mean_rate_calibration(self):
+        model = VideoTraceModel(mean_rate_bps=360e3)
+        rng = np.random.default_rng(42)
+        frames = model.generate_frames(rng, 24 * 600)  # 10 minutes
+        rate = frames.sum() * 8 / 600.0
+        assert rate == pytest.approx(360e3, rel=0.25)
+
+    def test_gop_structure_visible(self):
+        model = VideoTraceModel()
+        rng = np.random.default_rng(7)
+        frames = model.generate_frames(rng, 24 * 120)
+        gop = len(GOP_PATTERN)
+        i_frames = frames[::gop]
+        b_frames = frames[1::gop]
+        assert i_frames.mean() > 2.5 * b_frames.mean()
+
+    def test_scene_structure_creates_long_memory(self):
+        """Per-second rates should correlate far beyond one GOP."""
+        model = VideoTraceModel()
+        rng = np.random.default_rng(3)
+        frames = model.generate_frames(rng, 24 * 1200)
+        per_second = frames.reshape(-1, 24).sum(axis=1)
+        x = per_second - per_second.mean()
+        lag = 5  # seconds
+        autocorr = float((x[:-lag] * x[lag:]).mean() / (x**2).mean())
+        assert autocorr > 0.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VideoTraceModel(mean_rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            VideoTraceModel(scene_shape=1.0)
+        model = VideoTraceModel()
+        with pytest.raises(ConfigurationError):
+            model.generate_frames(np.random.default_rng(0), 0)
+
+
+class TestSyntheticVideoSource:
+    def make(self, sim, port, sink, rng):
+        flow = FlowAccounting(1)
+        src = SyntheticVideoSource(sim, [port], sink, flow, rng)
+        return src, flow
+
+    def test_emits_at_frame_cadence(self, sim, rng):
+        port, sink = make_link(sim, rate_bps=10e6, capacity=10000)
+        src, flow = self.make(sim, port, sink, rng)
+        src.start()
+        sim.run(until=2.0)
+        src.stop()
+        assert src.frames_emitted == pytest.approx(2 * FRAME_RATE, abs=2)
+        assert flow.sent > 0
+
+    def test_token_bucket_limits_rate(self, sim, rng):
+        port, sink = make_link(sim, rate_bps=10e6, capacity=100000)
+        src, flow = self.make(sim, port, sink, rng)
+        src.start()
+        horizon = 60.0
+        sim.run(until=horizon)
+        src.stop()
+        sent_rate = flow.bytes_sent * 8 / horizon
+        # The (800 kbps, 25 kB) bucket bounds the emitted rate.
+        assert sent_rate <= 800e3 + 25000 * 8 / horizon
+
+    def test_some_packets_shaped_on_active_scenes(self, sim, rng):
+        port, sink = make_link(sim, rate_bps=10e6, capacity=100000)
+        flow = FlowAccounting(1)
+        hot_model = VideoTraceModel(mean_rate_bps=900e3)  # above the bucket
+        src = SyntheticVideoSource(sim, [port], sink, flow, rng, model=hot_model)
+        src.start()
+        sim.run(until=30.0)
+        src.stop()
+        assert src.shaped_packets > 0
+
+    def test_stop_halts(self, sim, rng):
+        port, sink = make_link(sim, rate_bps=10e6, capacity=10000)
+        src, flow = self.make(sim, port, sink, rng)
+        src.start()
+        sim.run(until=1.0)
+        src.stop()
+        sent = flow.sent
+        sim.run(until=5.0)
+        assert flow.sent == sent

@@ -1,0 +1,42 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_rate_helpers():
+    assert units.kbps(128) == 128_000
+    assert units.mbps(10) == 10_000_000
+    assert units.gbps(1) == 1_000_000_000
+
+
+def test_size_helpers():
+    assert units.kilobytes(25) == 25_000
+    assert units.kilobits(200) == 25_000
+
+
+def test_time_helpers():
+    assert units.ms(20) == pytest.approx(0.020)
+    assert units.us(5) == pytest.approx(5e-6)
+    assert units.minutes(2) == 120.0
+
+
+def test_transmission_time():
+    # 125 bytes at 10 Mbps: 1000 bits / 1e7 bps = 100 us.
+    assert units.transmission_time(125, units.mbps(10)) == pytest.approx(1e-4)
+
+
+def test_transmission_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time(125, 0)
+
+
+def test_packets_per_second():
+    # 256 kbps of 125-byte packets = 256 packets per second.
+    assert units.packets_per_second(units.kbps(256), 125) == pytest.approx(256.0)
+
+
+def test_packets_per_second_rejects_bad_size():
+    with pytest.raises(ValueError):
+        units.packets_per_second(1e6, 0)

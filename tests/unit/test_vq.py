@@ -1,0 +1,81 @@
+"""Unit tests for the virtual-queue ECN marker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.vq import VirtualQueue
+
+
+def test_accepts_until_virtual_buffer_full():
+    vq = VirtualQueue(rate_bps=8e3, buffer_bytes=1000, fraction=1.0)
+    # 1 kB/s virtual drain; instantaneous arrivals fill the 1000 B buffer.
+    assert not vq.observe(500, now=0.0)
+    assert not vq.observe(500, now=0.0)
+    assert vq.observe(1, now=0.0)  # would overflow -> mark
+
+
+def test_marked_packet_not_added_to_backlog():
+    vq = VirtualQueue(rate_bps=8e3, buffer_bytes=1000, fraction=1.0)
+    vq.observe(1000, now=0.0)
+    assert vq.observe(500, now=0.0)
+    assert vq.backlog_bytes == 1000.0
+
+
+def test_backlog_drains_at_virtual_rate():
+    vq = VirtualQueue(rate_bps=8e3, buffer_bytes=1000, fraction=1.0)  # 1000 B/s
+    vq.observe(1000, now=0.0)
+    # After 0.5 s, 500 bytes drained; another 500 fits exactly.
+    assert not vq.observe(500, now=0.5)
+    assert vq.observe(1, now=0.5)
+
+
+def test_fraction_scales_drain_rate():
+    full = VirtualQueue(rate_bps=8e3, buffer_bytes=1000, fraction=1.0)
+    slow = VirtualQueue(rate_bps=8e3, buffer_bytes=1000, fraction=0.5)
+    full.observe(1000, 0.0)
+    slow.observe(1000, 0.0)
+    # At t=1.0 the full-rate queue drained 1000B, the half-rate one 500B.
+    assert not full.observe(1000, 1.0)
+    assert slow.observe(600, 1.0)
+
+
+def test_virtual_queue_marks_before_real_queue_drops():
+    """The whole point: a 90% virtual queue congests earlier than the link."""
+    vq = VirtualQueue(rate_bps=1e6, buffer_bytes=2500, fraction=0.9)
+    # Offered exactly at 100% of the real rate: 125-byte packets every 1 ms.
+    marked = 0
+    for i in range(2000):
+        if vq.observe(125, now=i * 0.001):
+            marked += 1
+    # 10% excess over the virtual rate accumulates and must cause marks.
+    assert marked > 0
+
+
+def test_counters():
+    vq = VirtualQueue(rate_bps=8e3, buffer_bytes=250, fraction=1.0)
+    vq.observe(125, 0.0)
+    vq.observe(125, 0.0)
+    vq.observe(125, 0.0)
+    assert vq.observations == 3
+    assert vq.marks == 1
+
+
+def test_no_marks_below_virtual_rate():
+    vq = VirtualQueue(rate_bps=1e6, buffer_bytes=2500, fraction=0.9)
+    # Offered at 50% of the rate: no marks ever.
+    for i in range(1000):
+        assert not vq.observe(125, now=i * 0.002)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rate_bps": 0, "buffer_bytes": 100},
+        {"rate_bps": 1e6, "buffer_bytes": 0},
+        {"rate_bps": 1e6, "buffer_bytes": 100, "fraction": 0.0},
+        {"rate_bps": 1e6, "buffer_bytes": 100, "fraction": 1.5},
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ConfigurationError):
+        VirtualQueue(**kwargs)
