@@ -20,7 +20,7 @@ flows are baselined and subtracted at aggregation time.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core.design import EndpointDesign
 from repro.core.endpoint import EndpointAgent, FlowOutcome
@@ -43,8 +43,12 @@ class ClassStats:
     def __init__(self) -> None:
         self.offered = 0
         self.admitted = 0
-        for name in _COUNTER_FIELDS:
-            setattr(self, name, 0)
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.marked = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
 
     @property
     def blocked(self) -> int:
@@ -64,7 +68,11 @@ class ClassStats:
             return 0.0
         return self.dropped / self.sent
 
-    def add_counters(self, counters: dict, baseline: Optional[dict] = None) -> None:
+    def add_counters(
+        self,
+        counters: Mapping[str, int],
+        baseline: Optional[Mapping[str, int]] = None,
+    ) -> None:
         for name in _COUNTER_FIELDS:
             value = counters[name]
             if baseline is not None:
@@ -77,8 +85,8 @@ class ClassStats:
         for name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
-    def as_dict(self) -> dict:
-        out = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {name: getattr(self, name) for name in _COUNTER_FIELDS}
         out.update(
             offered=self.offered,
             admitted=self.admitted,
@@ -99,7 +107,7 @@ class ControllerBase:
         self._source_rng = streams.get("sources")
         self.outcomes: List[FlowOutcome] = []
         self._live: Dict[int, FlowOutcome] = {}
-        self._baselines: Dict[int, dict] = {}
+        self._baselines: Dict[int, Dict[str, int]] = {}
         self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
         self.measuring = False
         self.measure_start = 0.0

@@ -20,11 +20,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Callable, List
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.packet import PRIO_DATA, PRIO_PROBE
-from repro.net.queues import DropTailFifo, RedFifo, TwoLevelPriorityQueue
+from repro.net.queues import (
+    DropTailFifo,
+    QueueDiscipline,
+    RedFifo,
+    TwoLevelPriorityQueue,
+)
 from repro.net.vq import VirtualQueue
 
 
@@ -150,7 +155,7 @@ class EndpointDesign:
         return f"{self.signal.value}/{self.band.value}/{self.probing.value}"
 
     @property
-    def default_epsilons(self) -> tuple:
+    def default_epsilons(self) -> Tuple[float, ...]:
         """The paper's epsilon sweep for this design's band."""
         if self.band is ProbeBand.IN_BAND:
             return IN_BAND_EPSILONS
@@ -168,7 +173,7 @@ class EndpointDesign:
 
     def qdisc_factory(
         self, rate_bps: float, buffer_packets: int = 200
-    ) -> Callable[[], object]:
+    ) -> Callable[[], QueueDiscipline]:
         """Factory building the queueing discipline this design needs.
 
         * in-band designs: a drop-tail FIFO (marking adds a virtual queue);
@@ -180,9 +185,9 @@ class EndpointDesign:
         buffer_bytes = buffer_packets * 125  # VQ buffer in bytes, 125 B packets
         use_red = self.queue_discipline == "red"
 
-        def build() -> object:
+        def build() -> QueueDiscipline:
             if band is ProbeBand.IN_BAND:
-                marker = None
+                marker: Optional[VirtualQueue] = None
                 if signal is CongestionSignal.MARK:
                     marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)
                 if use_red:
@@ -193,7 +198,8 @@ class EndpointDesign:
                         marker=marker,
                     )
                 return DropTailFifo(buffer_packets, marker=marker)
-            data_marker = probe_marker = None
+            data_marker: Optional[VirtualQueue] = None
+            probe_marker: Optional[VirtualQueue] = None
             if signal is CongestionSignal.MARK:
                 data_marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)
                 probe_marker = VirtualQueue(rate_bps, buffer_bytes, self.vq_fraction)

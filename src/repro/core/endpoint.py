@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -36,7 +36,8 @@ from repro.core.design import (
     ProbeShape,
     ProbingScheme,
 )
-from repro.net.packet import PROBE, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import PROBE, FlowAccounting, Receiver
 from repro.sim.engine import EventHandle, Simulator
 from repro.traffic.base import Source
 from repro.traffic.cbr import ConstantRateSource
@@ -59,7 +60,7 @@ class FlowOutcome:
     epsilon: float
     admitted: bool = False
     decision_time: float = math.nan
-    probe: dict = field(default_factory=dict)
+    probe: Dict[str, int] = field(default_factory=dict)
     probe_fraction: float = math.nan
     data: Optional[FlowAccounting] = None
     end_time: Optional[float] = None
@@ -78,8 +79,8 @@ class EndpointAgent:
         sim: Simulator,
         request: FlowRequest,
         design: EndpointDesign,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         data_rng: np.random.Generator,
         on_decision: Callable[[FlowOutcome], None],
         on_complete: Callable[[FlowOutcome], None],
@@ -151,7 +152,9 @@ class EndpointAgent:
         # Simple probing aborts once the loss budget is exhausted: more than
         # floor(eps * planned) congested packets can no longer average out.
         if design.probing is ProbingScheme.SIMPLE and design.early_abort:
-            self._abort_budget = int(math.floor(self.epsilon * self._planned_packets))
+            self._abort_budget: Optional[int] = int(
+                math.floor(self.epsilon * self._planned_packets)
+            )
             self.probe_flow.drop_hook = self._check_budget
             if design.signal is CongestionSignal.MARK:
                 self.probe_flow.mark_hook = self._check_budget
@@ -168,7 +171,7 @@ class EndpointAgent:
         return flow.dropped
 
     def _check_budget(self) -> None:
-        if self._decided:
+        if self._decided or self._abort_budget is None:
             return
         if self._bad_count() > self._abort_budget:
             self._reject()

@@ -1,0 +1,55 @@
+"""``# noqa`` suppression comments.
+
+Two forms are honored, matching the flake8 convention:
+
+* ``# noqa`` — suppress every rule on that line;
+* ``# noqa: DET001`` or ``# noqa: DET001, SIM001`` — suppress only the
+  listed codes.
+
+Suppressions are per-line: a finding is dropped when its line carries a
+blanket ``noqa`` or one naming the finding's code.  The scan is textual
+(tokenize-free) which keeps it fast; the one consequence is that a
+``# noqa`` inside a string literal on the same line also counts — in
+practice a non-issue for this codebase, and erring toward suppression
+never *hides* the control: waivers remain grep-able.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]{2,10}\d{2,4}(?:[,\s]+[A-Z]{2,10}\d{2,4})*))?",
+    re.IGNORECASE,
+)
+
+#: line -> None for a blanket ``# noqa``, or the set of suppressed codes.
+NoqaMap = Dict[int, Optional[FrozenSet[str]]]
+
+
+def noqa_map(source: str) -> NoqaMap:
+    """Scan module source for suppression comments, keyed by line number."""
+    mapping: NoqaMap = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "noqa" not in line and "NOQA" not in line.upper():
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            mapping[lineno] = None
+        else:
+            mapping[lineno] = frozenset(
+                code.strip().upper() for code in re.split(r"[,\s]+", codes) if code.strip()
+            )
+    return mapping
+
+
+def is_suppressed(mapping: NoqaMap, line: int, code: str) -> bool:
+    """True when a finding of ``code`` at ``line`` is waived by a comment."""
+    if line not in mapping:
+        return False
+    codes = mapping[line]
+    return codes is None or code.upper() in codes

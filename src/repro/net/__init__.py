@@ -10,11 +10,13 @@ from repro.net.packet import (
     PROBE,
     FlowAccounting,
     Packet,
+    Receiver,
 )
 from repro.net.queues import (
     DropTailFifo,
     FairQueueing,
     MultiLevelPriorityQueue,
+    QueueDiscipline,
     RedFifo,
     TwoLevelPriorityQueue,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "PROBE",
     "Packet",
     "PortStats",
+    "QueueDiscipline",
+    "Receiver",
     "RedFifo",
     "Sink",
     "TwoLevelPriorityQueue",

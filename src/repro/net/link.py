@@ -12,10 +12,11 @@ exactly that.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.packet import BEST_EFFORT, DATA, PROBE, Packet
+from repro.net.queues import QueueDiscipline
 from repro.sim.engine import Simulator
 from repro.units import BITS_PER_BYTE
 
@@ -80,7 +81,7 @@ class OutputPort:
         self,
         sim: Simulator,
         rate_bps: float,
-        qdisc,
+        qdisc: QueueDiscipline,
         prop_delay: float = 0.0,
         name: str = "port",
     ) -> None:
@@ -117,7 +118,9 @@ class OutputPort:
         pkt = self.qdisc.dequeue()
         if pkt is None:
             self.busy = False
-            idle_hook = getattr(self.qdisc, "note_idle", None)
+            idle_hook: Optional[Callable[[float], None]] = getattr(
+                self.qdisc, "note_idle", None
+            )
             if idle_hook is not None:
                 idle_hook(self.sim.now)
             return

@@ -10,7 +10,10 @@ through the topology.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.net.link import OutputPort
 
 # Packet kinds.  Plain ints (not enum) — these are compared in the hot path.
 DATA = 0        #: admission-controlled data traffic
@@ -24,6 +27,13 @@ KIND_NAMES = {DATA: "data", PROBE: "probe", BEST_EFFORT: "best-effort", ACK: "ac
 # served first.  Out-of-band designs place probes at PRIO_PROBE.
 PRIO_DATA = 0
 PRIO_PROBE = 1
+
+
+class Receiver(Protocol):
+    """Anything that can terminate a packet route (see :class:`Packet`)."""
+
+    def receive(self, pkt: "Packet") -> None:
+        """Accept one delivered packet."""
 
 
 class FlowAccounting:
@@ -79,7 +89,7 @@ class FlowAccounting:
             return 0.0
         return (self.dropped + self.marked) / self.sent
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy of the counters (for reports and tests)."""
         return {
             "flow_id": self.flow_id,
@@ -108,12 +118,12 @@ class Packet:
         size: int,
         kind: int,
         flow: FlowAccounting,
-        route: List,
-        sink,
+        route: List["OutputPort"],
+        sink: Receiver,
         prio: int = PRIO_DATA,
         seq: int = 0,
         created: float = 0.0,
-        payload=None,
+        payload: Any = None,
     ) -> None:
         self.size = size
         self.kind = kind

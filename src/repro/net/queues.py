@@ -21,12 +21,37 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.net.packet import PRIO_DATA, PRIO_PROBE, Packet
 from repro.net.vq import VirtualQueue
 from repro.units import BITS_PER_BYTE
+
+
+@runtime_checkable
+class QueueDiscipline(Protocol):
+    """The structural interface every discipline in this module satisfies.
+
+    :class:`~repro.net.link.OutputPort` and the topology builders accept any
+    object with this shape, so ablations can plug in new disciplines without
+    touching the datapath.
+    """
+
+    @property
+    def backlog_packets(self) -> int:
+        """Current queue occupancy in packets."""
+        ...
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Admit or drop ``pkt``; True when the packet was queued."""
+        ...
+
+    def dequeue(self) -> Optional[Packet]:
+        """Next packet to transmit, or None when empty."""
+        ...
 
 
 def _drop(pkt: Packet) -> None:
@@ -279,7 +304,7 @@ class RedFifo:
         self,
         capacity_packets: int,
         rate_bps: float,
-        rng,
+        rng: np.random.Generator,
         min_th: float = 5.0,
         max_th: float = 50.0,
         max_p: float = 0.02,
@@ -383,9 +408,10 @@ class FairQueueing:
             raise ConfigurationError(
                 f"capacity must be positive, got {capacity_packets!r}"
             )
-        self._flows: Dict[int, Deque[Packet]] = {}
+        # Per-flow FIFO of (finish_tag, packet) pairs.
+        self._flows: Dict[int, Deque[Tuple[float, Packet]]] = {}
         self._finish: Dict[int, float] = {}
-        self._heap: List = []  # (finish_tag_of_head, seq, flow_id)
+        self._heap: List[Tuple[float, int, int]] = []  # (head finish tag, seq, flow_id)
         self._capacity = capacity_packets
         self._occupancy = 0
         self._vtime = 0.0

@@ -22,10 +22,11 @@ import networkx as nx
 
 from repro.errors import TopologyError
 from repro.net.link import OutputPort
+from repro.net.queues import QueueDiscipline
 from repro.sim.engine import Simulator
 
 #: A factory producing a fresh queueing discipline for one port.
-QdiscFactory = Callable[[], object]
+QdiscFactory = Callable[[], QueueDiscipline]
 
 
 class Network:
@@ -151,7 +152,7 @@ def parking_lot(
     routers = [f"b{i}" for i in range(backbone_links + 1)]
     for name in routers:
         net.add_node(name)
-    backbone_ports = []
+    backbone_ports: List[OutputPort] = []
     for i in range(backbone_links):
         port = net.add_link(routers[i], routers[i + 1], rate_bps, qdisc_factory, prop_delay)
         backbone_ports.append(port)

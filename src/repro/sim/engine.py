@@ -11,6 +11,15 @@ of every experiment, so it favors plain data structures over abstraction:
 * callbacks receive their pre-bound positional arguments, avoiding closure
   allocation in inner loops.
 
+Event times are validated at scheduling time: a NaN deadline compares False
+against every bound (``when < self.now`` never fires), so without the check
+a single NaN would silently corrupt the heap's ordering and with it every
+downstream result.  :class:`Simulator` therefore rejects non-finite times
+unconditionally, and ``Simulator(strict=True)`` adds the dynamic checks a
+linter cannot prove statically: a monotone clock at dispatch and a bounded
+heap-garbage ratio (cancelled records are compacted away once they dominate
+the calendar).
+
 Example
 -------
 >>> sim = Simulator()
@@ -26,12 +35,19 @@ Example
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
-# Index constants for the event record; kept module-private.
+# Index constants for the event record; kept module-private.  ``step`` and
+# ``run`` share the pop-skip-cancelled pattern through these constants so the
+# two dispatch loops cannot drift apart.
 _TIME, _SEQ, _FN, _ARGS, _ALIVE = 0, 1, 2, 3, 4
+
+#: Minimum number of cancelled records before strict mode considers
+#: compacting the heap (avoids rebuilding tiny calendars).
+_COMPACT_MIN = 512
 
 
 class EventHandle:
@@ -42,24 +58,28 @@ class EventHandle:
     which is the right trade-off for timers that are usually *not* cancelled.
     """
 
-    __slots__ = ("_record",)
+    __slots__ = ("_record", "_sim")
 
-    def __init__(self, record: list):
+    def __init__(self, record: List[Any], sim: Optional["Simulator"] = None) -> None:
         self._record = record
+        self._sim = sim
 
     @property
     def time(self) -> float:
         """Absolute simulation time at which the event will fire."""
-        return self._record[_TIME]
+        return float(self._record[_TIME])
 
     @property
     def alive(self) -> bool:
         """True while the event is still pending (not cancelled, not fired)."""
-        return self._record[_ALIVE]
+        return bool(self._record[_ALIVE])
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is harmless."""
-        self._record[_ALIVE] = False
+        if self._record[_ALIVE]:
+            self._record[_ALIVE] = False
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -69,22 +89,38 @@ class Simulator:
     :meth:`schedule_at`, :meth:`run`, :meth:`step`, and :attr:`now`.
     Components (links, sources, endpoint agents) hold a reference to the
     simulator and schedule their own callbacks.
+
+    Parameters
+    ----------
+    strict:
+        Enable the debug validations that static analysis cannot prove:
+        the clock is checked to be monotone at every dispatch (catching
+        post-push mutation of event records), event times are re-checked
+        finite at dispatch, and the heap is compacted when cancelled
+        garbage outnumbers live events.  Costs a few percent of event
+        throughput; leave off for production sweeps.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_stopped", "_events_processed")
+    __slots__ = ("now", "strict", "_heap", "_seq", "_stopped",
+                 "_events_processed", "_cancelled", "_compactions")
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self.now: float = 0.0
-        self._heap: List[list] = []
+        self.strict: bool = strict
+        self._heap: List[List[Any]] = []
         self._seq: int = 0
         self._stopped: bool = False
         self._events_processed: int = 0
+        self._cancelled: int = 0
+        self._compactions: int = 0
 
     # -- scheduling -----------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
+        if not (delay >= 0):  # rejects negatives and NaN in one comparison
+            if math.isnan(delay):
+                raise SimulationError("cannot schedule at a NaN delay")
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
         return self.schedule_at(self.now + delay, fn, *args)
 
@@ -96,41 +132,98 @@ class Simulator:
         the datapath, which are never cancelled (their callbacks guard on
         component state instead).
         """
-        when = self.now + delay
-        if delay < 0:
+        if not (delay >= 0):
+            if math.isnan(delay):
+                raise SimulationError("cannot schedule at a NaN delay")
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        when = self.now + delay
+        if when == math.inf:
+            raise SimulationError(f"cannot schedule at non-finite time {when!r}")
         self._seq += 1
         heapq.heappush(self._heap, [when, self._seq, fn, args, True])
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``when``."""
-        if when < self.now:
+        if not (when >= self.now):  # rejects the past and NaN in one comparison
+            if math.isnan(when):
+                raise SimulationError("cannot schedule at a NaN time")
             raise SimulationError(
                 f"cannot schedule at t={when!r} before current time t={self.now!r}"
             )
+        if when == math.inf:
+            raise SimulationError(f"cannot schedule at non-finite time {when!r}")
         self._seq += 1
-        record = [when, self._seq, fn, args, True]
+        record: List[Any] = [when, self._seq, fn, args, True]
         heapq.heappush(self._heap, record)
-        return EventHandle(record)
+        return EventHandle(record, self)
 
     # -- execution ------------------------------------------------------
+
+    def _pop_live(self) -> Optional[List[Any]]:
+        """Pop the next live record, discarding cancelled garbage.
+
+        The single shared implementation of the pop-skip-cancelled pattern
+        used by both :meth:`step` and :meth:`run`.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        record: Optional[List[Any]] = None
+        while heap:
+            candidate = pop(heap)
+            if candidate[_ALIVE]:
+                record = candidate
+                break
+            cancelled -= 1
+        self._cancelled = max(0, cancelled)
+        return record
+
+    def _dispatch(self, record: List[Any]) -> None:
+        """Advance the clock to ``record`` and fire its callback."""
+        when = record[_TIME]
+        if self.strict:
+            self._validate_dispatch(when)
+        record[_ALIVE] = False
+        self.now = when
+        self._events_processed += 1
+        record[_FN](*record[_ARGS])
+
+    def _validate_dispatch(self, when: float) -> None:
+        """Strict-mode checks on the event about to fire."""
+        if not math.isfinite(when):
+            raise SimulationError(
+                f"event record carries non-finite time {when!r} "
+                "(mutated after scheduling?)"
+            )
+        if when < self.now:
+            raise SimulationError(
+                f"clock would move backwards: event at t={when!r} dispatched "
+                f"at t={self.now!r}"
+            )
+        if self._cancelled >= _COMPACT_MIN and self._cancelled > len(self._heap) // 2:
+            self._compact()
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; feeds the garbage ratio."""
+        self._cancelled += 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled records (strict mode only)."""
+        self._heap = [record for record in self._heap if record[_ALIVE]]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     def step(self) -> bool:
         """Run the single next pending event.
 
         Returns True if an event ran, False if the calendar is empty.
         """
-        heap = self._heap
-        while heap:
-            record = heapq.heappop(heap)
-            if not record[_ALIVE]:
-                continue
-            record[_ALIVE] = False
-            self.now = record[_TIME]
-            self._events_processed += 1
-            record[_FN](*record[_ARGS])
-            return True
-        return False
+        record = self._pop_live()
+        if record is None:
+            return False
+        self._dispatch(record)
+        return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events in time order.
@@ -142,24 +235,18 @@ class Simulator:
             ``until`` and advance the clock to exactly ``until``.  If omitted,
             run until the calendar drains or :meth:`stop` is called.
         """
-        heap = self._heap
         self._stopped = False
-        pop = heapq.heappop
-        processed = 0
-        while heap and not self._stopped:
-            record = pop(heap)
-            if not record[4]:  # cancelled
-                continue
-            when = record[0]
-            if until is not None and when > until:
-                # Not yet due: put it back and stop.
-                heapq.heappush(heap, record)
+        pop_live = self._pop_live
+        dispatch = self._dispatch
+        while not self._stopped:
+            record = pop_live()
+            if record is None:
                 break
-            record[4] = False
-            self.now = when
-            processed += 1
-            record[2](*record[3])
-        self._events_processed += processed
+            if until is not None and record[_TIME] > until:
+                # Not yet due: put it back and stop.
+                heapq.heappush(self._heap, record)
+                break
+            dispatch(record)
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 
@@ -171,10 +258,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled garbage)."""
+        """Number of events still in the heap (excluding cancelled garbage)."""
         return sum(1 for record in self._heap if record[_ALIVE])
 
     @property
     def events_processed(self) -> int:
         """Total number of events executed since construction."""
         return self._events_processed
+
+    @property
+    def garbage_ratio(self) -> float:
+        """Fraction of the heap occupied by cancelled-but-unpopped records."""
+        size = len(self._heap)
+        if size == 0:
+            return 0.0
+        return self._cancelled / size
+
+    @property
+    def compactions(self) -> int:
+        """Number of strict-mode heap compactions performed so far."""
+        return self._compactions

@@ -42,8 +42,9 @@ class Timer:
     @property
     def deadline(self) -> Optional[float]:
         """Absolute time of the pending deadline, or None when stopped."""
-        if self.running:
-            return self._handle.time  # type: ignore[union-attr]
+        handle = self._handle
+        if handle is not None and handle.alive:
+            return handle.time
         return None
 
     def start(self, delay: float) -> None:

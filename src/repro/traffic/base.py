@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Packet
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Packet, Receiver
 from repro.sim.engine import EventHandle, Simulator
 
 
@@ -25,8 +26,8 @@ class Source:
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         packet_bytes: int,
         kind: int = DATA,

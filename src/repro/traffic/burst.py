@@ -15,7 +15,8 @@ import math
 from typing import List
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Receiver
 from repro.sim.engine import Simulator
 from repro.traffic.base import Source
 from repro.units import BITS_PER_BYTE
@@ -31,8 +32,8 @@ class BurstProbeSource(Source):
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         rate_bps: float,
         bucket_bytes: int,

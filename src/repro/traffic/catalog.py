@@ -14,7 +14,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Receiver
 from repro.sim.engine import Simulator
 from repro.traffic.base import Source
 from repro.traffic.onoff import ExponentialOnOffSource, ParetoOnOffSource
@@ -77,8 +78,8 @@ class SourceSpec:
     def build(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         rng: np.random.Generator,
         kind: int = DATA,

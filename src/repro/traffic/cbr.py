@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Receiver
 from repro.sim.engine import Simulator
 from repro.traffic.base import Source
 from repro.units import BITS_PER_BYTE
@@ -25,8 +26,8 @@ class ConstantRateSource(Source):
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         rate_bps: float,
         packet_bytes: int,

@@ -17,7 +17,8 @@ from typing import List
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Receiver
 from repro.sim.engine import Simulator
 from repro.traffic.base import Source
 from repro.units import BITS_PER_BYTE
@@ -29,8 +30,8 @@ class OnOffSource(Source):
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         burst_rate_bps: float,
         mean_on: float,

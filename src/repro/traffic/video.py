@@ -26,7 +26,8 @@ from typing import List
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.net.packet import DATA, PRIO_DATA, FlowAccounting
+from repro.net.link import OutputPort
+from repro.net.packet import DATA, PRIO_DATA, FlowAccounting, Receiver
 from repro.sim.engine import Simulator
 from repro.traffic.base import Source
 from repro.traffic.token_bucket import TokenBucket
@@ -116,8 +117,8 @@ class SyntheticVideoSource(Source):
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        sink,
+        route: List[OutputPort],
+        sink: Receiver,
         flow: FlowAccounting,
         rng: np.random.Generator,
         token_rate_bps: float = 800e3,

@@ -98,9 +98,9 @@ def test_handle_reports_time_and_liveness(sim):
 
 def test_negative_delay_rejected(sim):
     with pytest.raises(SimulationError):
-        sim.schedule(-1.0, lambda: None)
+        sim.schedule(-1.0, lambda: None)  # noqa: SIM001
     with pytest.raises(SimulationError):
-        sim.call(-0.5, lambda: None)
+        sim.call(-0.5, lambda: None)  # noqa: SIM001
 
 
 def test_schedule_at_in_past_rejected(sim):
