@@ -17,8 +17,11 @@ from typing import List, Tuple
 
 import pytest
 
+from repro.experiments import cache
+
 _REPORTS: List[Tuple[str, str]] = []
 _REPORT_PATH = os.path.join("results", "benchmark_report.txt")
+_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", os.path.join("results", "cache"))
 
 
 class FigureRecorder:
@@ -41,6 +44,13 @@ def pytest_sessionstart(session):
     # Fresh report per benchmark session.
     if os.path.exists(_REPORT_PATH):
         os.remove(_REPORT_PATH)
+    # Benchmark sessions keep the persistent result cache on: identical
+    # (config, design, seed) runs from a previous session are served from
+    # ``results/cache/`` instead of being re-simulated.  REPRO_CACHE_DIR
+    # overrides the location; delete the directory (or bump the code) to
+    # force re-simulation.  Timing-sensitive micro-benchmarks disable the
+    # cache locally around their measured section.
+    cache.set_cache_dir(_CACHE_DIR)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -2,14 +2,29 @@
 
 Not paper artifacts — these measure the engine and datapath throughput
 that every experiment's wall-clock time rests on, so regressions in the
-hot path show up here first.
+hot path show up here first.  The parallel-sweep benchmark additionally
+checks that the process-pool fan-out both preserves determinism and
+actually buys wall-clock time on multi-core runners.
 """
 
+import os
+import time
+
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.experiments import cache, parallel
+from repro.experiments.report import format_table
+from repro.experiments.runner import ScenarioConfig
 from repro.net.link import OutputPort
 from repro.net.packet import DATA, FlowAccounting, Packet
 from repro.net.queues import DropTailFifo
 from repro.net.sink import Sink
 from repro.sim.engine import Simulator
+from repro.units import mbps
 
 
 def test_engine_event_throughput(benchmark):
@@ -55,3 +70,59 @@ def test_datapath_packet_throughput(benchmark):
 
     delivered = benchmark.pedantic(run_packets, rounds=3, iterations=1)
     assert delivered == 50_000
+
+
+def test_parallel_sweep_speedup(benchmark, report):
+    """Serial vs process-pool fan-out of four independent scenario runs.
+
+    Both cache tiers are disabled around the measured sections so every
+    run is actually simulated.  The parallel results must equal the
+    serial ones exactly (the runner orders by task, not completion); the
+    >= 2x speedup assertion applies only on runners with >= 4 CPUs —
+    smaller machines still record their measured numbers in the report.
+    """
+    design = EndpointDesign(
+        CongestionSignal.DROP, ProbeBand.IN_BAND, ProbingScheme.SLOW_START
+    )
+    config = ScenarioConfig(
+        source="EXP1",
+        interarrival=2.0,
+        duration=100.0,
+        warmup=40.0,
+        lifetime_mean=30.0,
+        link_rate_bps=mbps(2),
+    )
+    tasks = [(config.with_seed(seed), design) for seed in (1, 2, 3, 4)]
+    saved_dir = cache.get_cache_dir()
+    cache.set_cache_dir(None)
+    try:
+        cache.clear_cache(disk=False)
+        start = time.perf_counter()
+        expected = parallel.run_many(tasks, jobs=1)
+        serial_seconds = time.perf_counter() - start
+
+        def fanned_out():
+            cache.clear_cache(disk=False)
+            return parallel.run_many(tasks, jobs=4)
+
+        results = benchmark.pedantic(fanned_out, rounds=3, iterations=1)
+        parallel_seconds = benchmark.stats.stats.min
+    finally:
+        cache.set_cache_dir(saved_dir)
+
+    assert results == expected
+    speedup = serial_seconds / parallel_seconds
+    cpus = os.cpu_count() or 1
+    report.record(
+        "parallel_sweep_speedup",
+        format_table(
+            ("mode", "jobs", "seconds", "speedup"),
+            [
+                ("serial", 1, serial_seconds, 1.0),
+                ("process pool", 4, parallel_seconds, speedup),
+            ],
+            title=f"-- parallel sweep micro-benchmark ({cpus} CPUs)",
+        ),
+    )
+    if cpus >= 4:
+        assert speedup >= 2.0

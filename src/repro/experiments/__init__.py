@@ -1,11 +1,25 @@
-"""Experiment harness: scenarios, runners, loss-load sweeps, figures, CLI."""
+"""Experiment harness: scenarios, runners, caching, parallel sweeps, figures, CLI."""
 
-from repro.experiments.cache import cached_replications, cached_run, clear_cache
+from repro.experiments.cache import (
+    cached_run,
+    clear_cache,
+    get_cache_dir,
+    set_cache_dir,
+)
 from repro.experiments.lossload import (
+    CurveSpec,
     LossLoadCurve,
     LossLoadPoint,
     eac_loss_load_curve,
     mbac_loss_load_curve,
+    sweep_loss_load_curves,
+)
+from repro.experiments.parallel import (
+    cached_replications,
+    replicate_many,
+    run_many,
+    set_jobs,
+    set_progress,
 )
 from repro.experiments.runner import (
     MbacConfig,
@@ -26,6 +40,7 @@ from repro.experiments.scenarios import (
 )
 
 __all__ = [
+    "CurveSpec",
     "LossLoadCurve",
     "LossLoadPoint",
     "MbacConfig",
@@ -39,11 +54,18 @@ __all__ = [
     "clear_cache",
     "default_scale",
     "eac_loss_load_curve",
+    "get_cache_dir",
     "get_scenario",
     "heterogeneous_classes",
     "mbac_loss_load_curve",
+    "replicate_many",
+    "run_many",
     "run_replications",
     "run_scenario",
     "scaled_seeds",
     "scaled_times",
+    "set_cache_dir",
+    "set_jobs",
+    "set_progress",
+    "sweep_loss_load_curves",
 ]

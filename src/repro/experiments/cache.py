@@ -1,62 +1,268 @@
-"""In-process memoization of scenario runs.
+"""Two-tier memoization of scenario runs (in-process memo + disk cache).
 
 Several of the paper's figures reuse the same (scenario, design, seed)
 points — Figure 9 re-reports fixed-epsilon points of Figure 8, Figures 4–7
 share their MBAC reference, and so on.  Simulations are expensive, so the
-benchmark harness funnels every run through this cache: within one pytest
-session each distinct point is simulated exactly once.
+benchmark harness funnels every run through this cache.  Two tiers:
 
-Keys require hashable configs: :class:`ScenarioConfig` freezes its class
-list to a tuple, and designs are frozen dataclasses already.
+* **memo** — an in-process dict keyed on the hashable ``(config, design)``
+  pair; within one pytest session each distinct point is simulated exactly
+  once and shared by identity.
+* **disk** — an optional content-addressed store of JSON files, one per
+  run, under a cache directory (``results/cache/`` by convention).  Keys
+  are a SHA-256 over the canonically serialized config + controller spec +
+  a fingerprint of the ``repro`` package sources, so *any* code change
+  invalidates every entry and a stale cache can never contaminate a new
+  result.  Reads are corruption-tolerant: an unreadable or truncated file
+  is evicted and the run recomputed, never crashed on.
+
+The disk tier is off unless a directory is configured — via
+``set_cache_dir`` (the CLI's ``--cache-dir``/``--no-cache`` flags call
+it), or the ``REPRO_CACHE_DIR`` environment variable.  Keys require
+hashable configs: :class:`ScenarioConfig` freezes its class list to a
+tuple, and designs are frozen dataclasses already.
+
+See DESIGN.md §9 for the determinism argument and the invalidation rules.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments.runner import (
     ControllerSpec,
-    ReplicatedResult,
     ScenarioConfig,
     ScenarioResult,
     run_scenario,
 )
 
-_CACHE: Dict[Tuple, ScenarioResult] = {}
+#: Bump when the on-disk payload layout changes; old entries are evicted.
+SCHEMA_VERSION = 1
+
+_MEMO: Dict[Tuple[ScenarioConfig, ControllerSpec], ScenarioResult] = {}
+
+#: Disk-tier directory; ``None`` disables the tier entirely.
+_disk_dir: Optional[Path] = None
+if os.environ.get("REPRO_CACHE_DIR"):
+    _disk_dir = Path(os.environ["REPRO_CACHE_DIR"])
+
+_code_fingerprint_cached: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+def set_cache_dir(path: Optional[str]) -> None:
+    """Point the disk tier at ``path``, or disable it with ``None``.
+
+    The directory is created lazily on the first store.  Switching
+    directories does not touch the in-process memo.
+    """
+    global _disk_dir
+    _disk_dir = None if path is None else Path(path)
+
+
+def get_cache_dir() -> Optional[str]:
+    """The disk tier's directory, or ``None`` when the tier is disabled."""
+    return None if _disk_dir is None else str(_disk_dir)
+
+
+# ---------------------------------------------------------------------------
+# keys
+# ---------------------------------------------------------------------------
+
+def _canonical(value: Any) -> Any:
+    """JSON-ready canonical form of configs/specs for key material.
+
+    Dataclasses become name-tagged field dicts (recursively), enums become
+    ``[ClassName, value]`` pairs, tuples become lists.  The form must be
+    stable across processes and Python hash seeds — no ``hash()``, no
+    set/dict iteration order (dicts are sorted).
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"__dataclass__": type(value).__name__}
+        for f in fields(value):
+            out[f.name] = _canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Part of every disk key: any change to the package — simulator, traffic
+    models, controllers, experiment plumbing — yields new keys, so results
+    computed by old code are never served for new code.  Computed once per
+    process.
+    """
+    global _code_fingerprint_cached
+    if _code_fingerprint_cached is None:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint_cached = digest.hexdigest()
+    return _code_fingerprint_cached
+
+
+def run_key(config: ScenarioConfig, design: ControllerSpec = None) -> str:
+    """Stable content hash identifying one run in the disk tier.
+
+    Covers the full scenario config (seed included), the controller spec,
+    the payload schema version, and the package code fingerprint.  Stable
+    across processes, machines, and ``PYTHONHASHSEED`` values.
+    """
+    material = json.dumps(
+        {
+            "config": _canonical(config),
+            "design": _canonical(design),
+            "schema": SCHEMA_VERSION,
+            "code": code_fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# disk tier
+# ---------------------------------------------------------------------------
+
+def _disk_path(key: str) -> Optional[Path]:
+    if _disk_dir is None:
+        return None
+    return _disk_dir / f"{key}.json"
+
+
+def _disk_load(config: ScenarioConfig, design: ControllerSpec) -> Optional[ScenarioResult]:
+    """Read one result from the disk tier; evict anything unreadable.
+
+    A corrupt, truncated, or schema-mismatched file is deleted and ``None``
+    returned — a bad cache entry costs one recomputation, never a crash.
+    """
+    path = _disk_path(run_key(config, design))
+    if path is None:
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload["schema"] != SCHEMA_VERSION:
+            raise ValueError(f"schema {payload['schema']!r}")
+        raw = payload["result"]
+        return ScenarioResult(**{f.name: raw[f.name] for f in fields(ScenarioResult)})
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _disk_store(config: ScenarioConfig, design: ControllerSpec, result: ScenarioResult) -> None:
+    """Write one result atomically (temp file + rename) to the disk tier.
+
+    Atomicity means a concurrent reader — another worker of a parallel
+    sweep, or a second pytest session — sees either the complete entry or
+    none; the corruption-tolerant reader handles everything else.
+    """
+    key = run_key(config, design)
+    path = _disk_path(key)
+    if path is None:
+        return
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "created_unix": time.time(),
+        "controller": result.controller_name,
+        "seed": result.seed,
+        "result": asdict(result),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:
+        # A read-only or full cache directory degrades to compute-always.
+        pass
+
+
+# ---------------------------------------------------------------------------
+# public cache API
+# ---------------------------------------------------------------------------
+
+def lookup(config: ScenarioConfig, design: ControllerSpec = None) -> Tuple[Optional[ScenarioResult], str]:
+    """Fetch a run through both tiers.
+
+    Returns ``(result, tier)`` where ``tier`` is ``"memo"``, ``"disk"``,
+    or ``"miss"`` (with ``result = None``).  A disk hit is promoted into
+    the memo so later lookups in this process are identity-shared.
+    """
+    key = (config, design)
+    result = _MEMO.get(key)
+    if result is not None:
+        return result, "memo"
+    result = _disk_load(config, design)
+    if result is not None:
+        _MEMO[key] = result
+        return result, "disk"
+    return None, "miss"
+
+
+def store(config: ScenarioConfig, design: ControllerSpec, result: ScenarioResult) -> None:
+    """Record a computed run in the memo and (when enabled) on disk."""
+    _MEMO[(config, design)] = result
+    _disk_store(config, design, result)
 
 
 def cached_run(config: ScenarioConfig, design: ControllerSpec = None) -> ScenarioResult:
-    """Like :func:`run_scenario`, memoized on (config, design)."""
-    key = (config, design)
-    result = _CACHE.get(key)
+    """Like :func:`run_scenario`, memoized on (config, design) in both tiers."""
+    result, _ = lookup(config, design)
     if result is None:
         result = run_scenario(config, design)
-        _CACHE[key] = result
+        store(config, design, result)
     return result
 
 
-def cached_replications(
-    config: ScenarioConfig,
-    design: ControllerSpec = None,
-    seeds: Sequence[int] = (1,),
-) -> ReplicatedResult:
-    """Memoized multi-seed run (each seed cached individually)."""
-    runs = [cached_run(config.with_seed(seed), design) for seed in seeds]
-    n = len(runs)
-    return ReplicatedResult(
-        controller_name=runs[0].controller_name,
-        utilization=sum(r.utilization for r in runs) / n,
-        loss_probability=sum(r.loss_probability for r in runs) / n,
-        blocking_probability=sum(r.blocking_probability for r in runs) / n,
-        runs=runs,
-    )
-
-
 def cache_size() -> int:
-    """Number of memoized runs (for tests)."""
-    return len(_CACHE)
+    """Number of memo-tier entries in this process (for tests)."""
+    return len(_MEMO)
 
 
-def clear_cache() -> None:
-    """Drop all memoized runs (for tests)."""
-    _CACHE.clear()
+def disk_cache_size() -> int:
+    """Number of entries in the disk tier (0 when disabled)."""
+    if _disk_dir is None or not _disk_dir.is_dir():
+        return 0
+    return sum(1 for _ in _disk_dir.glob("*.json"))
+
+
+def clear_cache(disk: bool = True) -> None:
+    """Drop all memoized runs; with ``disk=True`` also empty the disk tier."""
+    _MEMO.clear()
+    if disk and _disk_dir is not None and _disk_dir.is_dir():
+        for path in _disk_dir.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

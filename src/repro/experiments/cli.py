@@ -5,11 +5,15 @@ Subcommands::
     repro-eac list                      # scenarios, designs, experiments
     repro-eac run basic --design drop/in-band --epsilon 0.01 --scale 0.02
     repro-eac figure figure2 --scale 0.02
-    repro-eac figure table5 figure9 --scale 0.05
+    repro-eac figure table5 figure9 --scale 0.05 --jobs 4
 
 The ``figure`` subcommand accepts any experiment name from DESIGN.md's
 index (figure1..figure9, figure11, table3..table6) and prints the
-regenerated rows/series.
+regenerated rows/series.  ``run`` and ``figure`` share the execution
+flags ``--jobs N`` (worker processes; 0 = one per CPU), ``--cache-dir``
+(the persistent result cache, default ``results/cache``) and
+``--no-cache`` (disable the disk tier); per-run progress goes to stderr
+so piped figure output stays clean.
 """
 
 from __future__ import annotations
@@ -26,9 +30,12 @@ from repro.core.design import (
     all_designs,
 )
 from repro.errors import ReproError
-from repro.experiments import figures
-from repro.experiments.runner import MbacConfig, run_scenario
+from repro.experiments import cache, figures, parallel
+from repro.experiments.runner import MbacConfig
 from repro.experiments.scenarios import SCENARIOS, get_scenario
+
+#: Default directory of the persistent result cache (``--cache-dir``).
+DEFAULT_CACHE_DIR = "results/cache"
 
 #: Experiment registry for the ``figure`` subcommand.
 EXPERIMENTS = {
@@ -78,7 +85,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_execution_options(args: argparse.Namespace) -> parallel.ProgressTracker:
+    """Wire --jobs/--cache-dir/--no-cache into the sweep runner's state.
+
+    Returns the installed progress tracker so command handlers can print
+    its timing summary after the work is done.
+    """
+    parallel.set_jobs(args.jobs)
+    cache.set_cache_dir(None if args.no_cache else args.cache_dir)
+    tracker = parallel.stderr_tracker()
+    parallel.set_progress(tracker)
+    return tracker
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_execution_options(args)
     config = get_scenario(args.scenario).config(args.scale, seed=args.seed)
     if args.mbac is not None:
         spec = MbacConfig(target_utilization=args.mbac)
@@ -86,7 +107,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = parse_design(args.design, args.epsilon, args.probing)
     else:
         spec = None
-    result = run_scenario(config, spec)
+    result = parallel.run_many([(config, spec)])[0]
     print(f"controller : {result.controller_name}")
     print(f"utilization: {result.utilization:.4f}")
     print(f"loss prob  : {result.loss_probability:.3e}")
@@ -99,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    tracker = _apply_execution_options(args)
     for name in args.names:
         fn = EXPERIMENTS.get(name)
         if fn is None:
@@ -107,6 +129,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         result = fn(scale=args.scale) if name != "figure1" else fn()
         print(result.text)
         print()
+    print(tracker.summary(), file=sys.stderr)
     return 0
 
 
@@ -119,7 +142,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list scenarios, designs and experiments")
 
+    def add_execution_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for independent runs "
+                            "(0 = one per CPU; default $REPRO_JOBS or 1)")
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help="persistent result cache directory "
+                            f"(default {DEFAULT_CACHE_DIR})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+
     run_p = sub.add_parser("run", help="run one scenario under one controller")
+    add_execution_flags(run_p)
     run_p.add_argument("scenario", help="scenario name (see 'list')")
     run_p.add_argument("--design", help="signal/band, e.g. drop/in-band")
     run_p.add_argument("--probing", default="slow-start",
@@ -132,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
 
     fig_p = sub.add_parser("figure", help="regenerate paper tables/figures")
+    add_execution_flags(fig_p)
     fig_p.add_argument("names", nargs="+", help="experiment names (see 'list')")
     fig_p.add_argument("--scale", type=float, default=None)
 

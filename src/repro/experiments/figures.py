@@ -28,13 +28,13 @@ from repro.core.design import (
     ProbingScheme,
     all_designs,
 )
-from repro.experiments.cache import cached_replications
 from repro.experiments.lossload import (
+    CurveSpec,
     LossLoadCurve,
-    eac_loss_load_curve,
-    mbac_loss_load_curve,
+    sweep_loss_load_curves,
 )
-from repro.experiments.runner import MbacConfig, ScenarioConfig
+from repro.experiments.parallel import replicate_many
+from repro.experiments.runner import ControllerSpec, MbacConfig, ScenarioConfig
 from repro.experiments.scenarios import (
     SCENARIOS,
     default_scale,
@@ -187,23 +187,24 @@ def _scenario_curves(
     ``narrow=True`` (used by the six-panel Figure 8 at reduced scale)
     keeps only two epsilon points per design — the strictest setting and
     the Figure-9 fixed value — and two MBAC targets.
+
+    All curves' points are submitted as one flat sweep so the parallel
+    runner fans out across every (curve, point, seed) of the figure.
     """
     s = default_scale() if scale is None else scale
     seeds = scaled_seeds(scale)
-    curves: List[LossLoadCurve] = []
+    sweeps: List[CurveSpec] = []
     narrow = narrow and s < 0.5
     if include_mbac:
         targets = (0.90, 1.10) if narrow else bench_mbac_targets(scale)
-        curves.append(mbac_loss_load_curve(config, targets, seeds=seeds))
+        sweeps.append(CurveSpec.for_mbac(targets))
     for design in designs if designs is not None else all_designs():
         if narrow:
             epsilons = (0.0, fixed_epsilon(design))
         else:
             epsilons = bench_epsilons(design, scale)
-        curves.append(
-            eac_loss_load_curve(config, design, epsilons, seeds=seeds)
-        )
-    return curves
+        sweeps.append(CurveSpec.for_design(design, epsilons))
+    return sweep_loss_load_curves(config, sweeps, seeds=seeds)
 
 
 # ---------------------------------------------------------------------------
@@ -251,13 +252,13 @@ def figure3(scale: Optional[float] = None) -> FigureResult:
         CongestionSignal.DROP, ProbeBand.IN_BAND, ProbingScheme.SLOW_START
     )
     long_probe = replace(base, probe_duration=25.0)
-    curves = [
-        mbac_loss_load_curve(config, bench_mbac_targets(scale), seeds=seeds),
-        eac_loss_load_curve(config, base, bench_epsilons(base, scale),
-                            seeds=seeds, label="5-second probes"),
-        eac_loss_load_curve(config, long_probe, bench_epsilons(base, scale),
-                            seeds=seeds, label="25-second probes"),
-    ]
+    curves = sweep_loss_load_curves(config, [
+        CurveSpec.for_mbac(bench_mbac_targets(scale)),
+        CurveSpec.for_design(base, bench_epsilons(base, scale),
+                             label="5-second probes"),
+        CurveSpec.for_design(long_probe, bench_epsilons(base, scale),
+                             label="25-second probes"),
+    ], seeds=seeds)
     text = format_curves(curves, title="Figure 3: longer probing (in-band dropping)")
     return FigureResult("figure3", "Probe-length trade-off", curves, text)
 
@@ -280,7 +281,7 @@ def _high_load_figure(name: str, scale: Optional[float]) -> FigureResult:
     seeds = scaled_seeds(scale)
     base = _HIGH_LOAD_DESIGNS[name]
     targets = (0.90, 1.10) if s < 0.5 else bench_mbac_targets(scale)
-    curves = [mbac_loss_load_curve(config, targets, seeds=seeds)]
+    sweeps = [CurveSpec.for_mbac(targets)]
     for scheme in (ProbingScheme.SIMPLE, ProbingScheme.SLOW_START,
                    ProbingScheme.EARLY_REJECT):
         design = base.with_probing(scheme)
@@ -288,10 +289,8 @@ def _high_load_figure(name: str, scale: Optional[float]) -> FigureResult:
             epsilons = (0.0, fixed_epsilon(design))
         else:
             epsilons = bench_epsilons(design, scale)
-        curves.append(
-            eac_loss_load_curve(config, design, epsilons,
-                                seeds=seeds, label=scheme.value)
-        )
+        sweeps.append(CurveSpec.for_design(design, epsilons, label=scheme.value))
+    curves = sweep_loss_load_curves(config, sweeps, seeds=seeds)
     title = (
         f"{name.capitalize()}: high load (tau=1.0s), "
         f"{base.signal.value}/{base.band.value}"
@@ -374,13 +373,19 @@ def figure9(
     seeds = scaled_seeds(scale)
     rows = []
     data: Dict[str, Dict[str, float]] = {}
-    for design in all_designs():
+    designs = list(all_designs())
+    # One flat (design x scenario) grid through the parallel runner.
+    pairs = [
+        (get_scenario(name).config(scale), design.with_epsilon(fixed_epsilon(design)))
+        for design in designs
+        for name in scenarios
+    ]
+    results = iter(replicate_many(pairs, seeds))
+    for design in designs:
         eps = fixed_epsilon(design)
-        losses: Dict[str, float] = {}
-        for name in scenarios:
-            config = get_scenario(name).config(scale)
-            result = cached_replications(config, design.with_epsilon(eps), seeds)
-            losses[name] = result.loss_probability
+        losses: Dict[str, float] = {
+            name: next(results).loss_probability for name in scenarios
+        }
         data[design.name] = losses
         spread = max(losses.values()) / max(min(losses.values()), 1e-9)
         rows.append([design.name, eps] + [losses[n] for n in scenarios] + [spread])
@@ -404,7 +409,9 @@ def table3(scale: Optional[float] = None) -> FigureResult:
     spec = get_source_spec("EXP1")
     rows = []
     data: Dict[str, Dict[str, float]] = {}
-    for design in all_designs():
+    designs = list(all_designs())
+    pairs = []
+    for design in designs:
         high = HIGH_EPS_IN_BAND if design.band is ProbeBand.IN_BAND else HIGH_EPS_OUT_OF_BAND
         classes = (
             FlowClass(label="low-eps", spec=spec, epsilon=0.0),
@@ -413,7 +420,8 @@ def table3(scale: Optional[float] = None) -> FigureResult:
         config = ScenarioConfig(
             classes=classes, interarrival=3.5, duration=duration, warmup=warmup,
         )
-        result = cached_replications(config, design, seeds)
+        pairs.append((config, design))
+    for design, result in zip(designs, replicate_many(pairs, seeds)):
         blocking = {
             label: result.class_mean(label, "blocking_probability")
             for label in ("low-eps", "high-eps")
@@ -452,12 +460,16 @@ def table4(scale: Optional[float] = None) -> FigureResult:
         ratio = large / max(small, 1e-9)
         rows.append([label, small, large, ratio])
 
-    for design in all_designs():
-        result = cached_replications(
-            config, design.with_epsilon(fixed_epsilon(design)), seeds
-        )
-        add_row(design.name, result)
-    add_row("MBAC", cached_replications(config, MbacConfig(0.9), seeds))
+    designs = list(all_designs())
+    specs: List[ControllerSpec] = [
+        design.with_epsilon(fixed_epsilon(design)) for design in designs
+    ]
+    specs.append(MbacConfig(0.9))
+    labels = [design.name for design in designs] + ["MBAC"]
+    for label, result in zip(
+        labels, replicate_many([(config, spec) for spec in specs], seeds)
+    ):
+        add_row(label, result)
     text = format_table(
         ("design", "small flows", "large flows", "large/small"),
         rows,
@@ -496,6 +508,17 @@ def multihop_config(scale: Optional[float] = None) -> ScenarioConfig:
     )
 
 
+def _multihop_controllers() -> Tuple[List[str], List[ControllerSpec]]:
+    """The five Tables-5/6 controllers: four designs at eps=0, plus MBAC."""
+    designs = list(all_designs())
+    labels = [design.name for design in designs] + ["MBAC"]
+    specs: List[ControllerSpec] = [
+        design.with_epsilon(0.0) for design in designs
+    ]
+    specs.append(MbacConfig(0.9))
+    return labels, specs
+
+
 def table5(scale: Optional[float] = None) -> FigureResult:
     """Table 5: data loss probability, short vs long flows at eps=0."""
     scale = _table_scale(scale)
@@ -503,20 +526,16 @@ def table5(scale: Optional[float] = None) -> FigureResult:
     seeds = scaled_seeds(scale)
     rows = []
     data: Dict[str, Dict[str, float]] = {}
-    for design in all_designs():
-        result = cached_replications(config, design.with_epsilon(0.0), seeds)
+    labels, specs = _multihop_controllers()
+    for label, result in zip(
+        labels, replicate_many([(config, spec) for spec in specs], seeds)
+    ):
         short = [result.class_mean(f"short{i}", "loss_probability") for i in range(3)]
         long_loss = result.class_mean("long", "loss_probability")
         mean_short = sum(short) / len(short)
-        data[design.name] = {"short": mean_short, "long": long_loss}
-        rows.append([design.name, mean_short, long_loss,
+        data[label] = {"short": mean_short, "long": long_loss}
+        rows.append([label, mean_short, long_loss,
                      long_loss / max(mean_short, 1e-9)])
-    result = cached_replications(config, MbacConfig(0.9), seeds)
-    short = [result.class_mean(f"short{i}", "loss_probability") for i in range(3)]
-    mean_short = sum(short) / len(short)
-    long_loss = result.class_mean("long", "loss_probability")
-    data["MBAC"] = {"short": mean_short, "long": long_loss}
-    rows.append(["MBAC", mean_short, long_loss, long_loss / max(mean_short, 1e-9)])
     text = format_table(
         ("design", "short flows", "long flows", "long/short"),
         rows,
@@ -545,10 +564,11 @@ def table6(scale: Optional[float] = None) -> FigureResult:
         }
         rows.append([label] + shorts + [long_block, product_block])
 
-    for design in all_designs():
-        add_row(design.name,
-                cached_replications(config, design.with_epsilon(0.0), seeds))
-    add_row("MBAC", cached_replications(config, MbacConfig(0.9), seeds))
+    labels, specs = _multihop_controllers()
+    for label, result in zip(
+        labels, replicate_many([(config, spec) for spec in specs], seeds)
+    ):
+        add_row(label, result)
     text = format_table(
         ("design", "short I", "short II", "short III", "long", "product"),
         rows,

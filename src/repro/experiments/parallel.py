@@ -1,0 +1,349 @@
+"""Process-pool fan-out of independent scenario runs.
+
+Every point of a figure sweep is an independent ``(ScenarioConfig,
+ControllerSpec)`` simulation — the paper's own evaluation averages 7 seeds
+per point and sweeps epsilon per design, so a single figure is dozens of
+runs with no data dependencies between them.  This module executes such a
+task list concurrently on a :class:`~concurrent.futures.ProcessPoolExecutor`
+while preserving bit-for-bit determinism:
+
+* each run is hermetic — :func:`~repro.experiments.runner.run_scenario`
+  builds its own :class:`~repro.sim.engine.Simulator` and seeds its own
+  :class:`~repro.sim.rng.RandomStreams` from ``config.seed``, so a worker
+  process computes exactly the bytes the serial path would;
+* results are keyed and yielded in **task order**, never completion
+  order, so aggregation sees the same sequence regardless of scheduling;
+* both cache tiers (:mod:`repro.experiments.cache`) are consulted before
+  any process is spawned and filled as results arrive, so a parallel
+  sweep and a serial sweep leave identical cache contents.
+
+Wall-clock timing of runs lives here (and only here) by design: the
+module is on the determinism linter's explicit DET002 exemption list,
+next to ``benchmarks/`` — see DESIGN.md §9.
+
+The worker count resolves, in order: an explicit ``jobs=`` argument, the
+process-wide :func:`set_jobs` value (the CLI's ``--jobs`` flag), the
+``REPRO_JOBS`` environment variable, then 1 (serial).  ``jobs=0`` means
+"one worker per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.experiments import cache
+from repro.experiments.report import format_progress, format_sweep_summary
+from repro.experiments.runner import (
+    ControllerSpec,
+    ReplicatedResult,
+    ScenarioConfig,
+    ScenarioResult,
+    _controller_name,
+    run_scenario,
+)
+
+#: One unit of work: a fully-seeded scenario under one controller.
+RunTask = Tuple[ScenarioConfig, ControllerSpec]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Progress record for one finished run of a sweep.
+
+    ``source`` is ``"run"`` for a fresh simulation, ``"memo"``/``"disk"``
+    for a cache hit; ``seconds`` is the wall-clock compute time (0 for
+    hits).
+    """
+
+    index: int
+    total: int
+    controller: str
+    seed: int
+    seconds: float
+    source: str
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+_progress_hook: Optional[ProgressCallback] = None
+_configured_jobs: Optional[int] = None
+
+
+def set_progress(callback: Optional[ProgressCallback]) -> None:
+    """Install a process-wide progress hook (``None`` to remove it).
+
+    Called once per completed run of every sweep that does not pass its
+    own ``progress=`` callback; the CLI installs a stderr printer here.
+    """
+    global _progress_hook
+    _progress_hook = callback
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` to unset)."""
+    global _configured_jobs
+    if jobs is not None and jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs!r}")
+    _configured_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: argument > set_jobs() > $REPRO_JOBS > 1.
+
+    ``0`` at any level resolves to the machine's CPU count.
+    """
+    if jobs is None:
+        jobs = _configured_jobs
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"REPRO_JOBS={raw!r} is not an integer") from exc
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs!r}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _compute(task: RunTask) -> Tuple[ScenarioResult, float]:
+    """Worker entry point: run one task, timing it (picklable top-level)."""
+    start = time.perf_counter()
+    result = run_scenario(task[0], task[1])
+    return result, time.perf_counter() - start
+
+
+def _emit(
+    progress: Optional[ProgressCallback],
+    index: int,
+    total: int,
+    task: RunTask,
+    seconds: float,
+    source: str,
+) -> None:
+    if progress is not None:
+        progress(RunEvent(
+            index=index,
+            total=total,
+            controller=_controller_name(task[1]),
+            seed=task[0].seed,
+            seconds=seconds,
+            source=source,
+        ))
+
+
+def iter_run_results(
+    tasks: Iterable[RunTask],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Iterator[ScenarioResult]:
+    """Yield one :class:`ScenarioResult` per task, in task order.
+
+    The determinism contract: the yielded sequence is a pure function of
+    the task list — identical for ``jobs=1`` and ``jobs=N``, with or
+    without cache hits.  Workers only ever *compute*; ordering, caching,
+    and aggregation stay in the parent, so completion order (the one
+    nondeterministic ingredient of a pool) never reaches a result stream.
+
+    Cache misses are fanned out over ``resolve_jobs(jobs)`` worker
+    processes when there is more than one of them; results are stored
+    into both cache tiers as they complete.  Consumed lazily, the serial
+    path holds one uncached result at a time.
+    """
+    task_list = list(tasks)
+    total = len(task_list)
+    if progress is None:
+        progress = _progress_hook
+    ready: Dict[int, ScenarioResult] = {}
+    misses: List[int] = []
+    for i, task in enumerate(task_list):
+        hit, tier = cache.lookup(task[0], task[1])
+        if hit is None:
+            misses.append(i)
+        else:
+            ready[i] = hit
+            _emit(progress, i, total, task, 0.0, tier)
+
+    workers = min(resolve_jobs(jobs), len(misses))
+    if workers > 1:
+        yield from _pool_results(task_list, misses, ready, workers, progress)
+        return
+    for i in range(total):
+        result = ready.pop(i, None)
+        if result is None:
+            task = task_list[i]
+            result, seconds = _compute(task)
+            cache.store(task[0], task[1], result)
+            _emit(progress, i, total, task, seconds, "run")
+        yield result
+
+
+def _pool_results(
+    task_list: List[RunTask],
+    misses: List[int],
+    ready: Dict[int, ScenarioResult],
+    workers: int,
+    progress: Optional[ProgressCallback],
+) -> Iterator[ScenarioResult]:
+    """Fan the missing indices out over a process pool; yield in task order.
+
+    Completed results are cached immediately (a crashed sweep keeps its
+    finished work) and buffered until every earlier index is available, so
+    the output order is the task order regardless of completion order.
+    """
+    total = len(task_list)
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (NotImplementedError, OSError):
+        # No usable process support (restricted sandbox): degrade to serial.
+        for i in misses:
+            task = task_list[i]
+            result, seconds = _compute(task)
+            cache.store(task[0], task[1], result)
+            _emit(progress, i, total, task, seconds, "run")
+            ready[i] = result
+        yield from (ready.pop(i) for i in range(total))
+        return
+    next_index = 0
+    with pool:
+        futures = {pool.submit(_compute, task_list[i]): i for i in misses}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = futures[future]
+                result, seconds = future.result()
+                task = task_list[i]
+                cache.store(task[0], task[1], result)
+                _emit(progress, i, total, task, seconds, "run")
+                ready[i] = result
+            while next_index < total and next_index in ready:
+                yield ready.pop(next_index)
+                next_index += 1
+    while next_index < total:
+        yield ready.pop(next_index)
+        next_index += 1
+
+
+def run_many(
+    tasks: Iterable[RunTask],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ScenarioResult]:
+    """Materialized form of :func:`iter_run_results` (task-ordered list)."""
+    return list(iter_run_results(tasks, jobs=jobs, progress=progress))
+
+
+def replicate_many(
+    pairs: Sequence[Tuple[ScenarioConfig, ControllerSpec]],
+    seeds: Sequence[int] = (1,),
+    jobs: Optional[int] = None,
+    keep_runs: bool = False,
+) -> List[ReplicatedResult]:
+    """Multi-seed replications of many (config, spec) pairs, fanned out flat.
+
+    The full ``len(pairs) × len(seeds)`` task grid goes through one
+    :func:`iter_run_results` pass — a sweep with one seed per point still
+    parallelizes across its points.  Results aggregate streamingly per
+    pair, in pair order.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    tasks: List[RunTask] = [
+        (config.with_seed(seed), spec)
+        for config, spec in pairs
+        for seed in seeds
+    ]
+    results = iter_run_results(tasks, jobs=jobs)
+    out: List[ReplicatedResult] = []
+    per_pair = len(seeds)
+    for _ in pairs:
+        chunk = (next(results) for _ in range(per_pair))
+        out.append(ReplicatedResult.aggregate(chunk, keep_runs=keep_runs))
+    return out
+
+
+def cached_replications(
+    config: ScenarioConfig,
+    design: ControllerSpec = None,
+    seeds: Sequence[int] = (1,),
+    jobs: Optional[int] = None,
+    keep_runs: bool = False,
+) -> ReplicatedResult:
+    """Cached, parallel multi-seed run (each seed cached individually).
+
+    The successor of the old serial ``cache.cached_replications``: seeds
+    stream through :func:`iter_run_results` and fold into the aggregate
+    one at a time instead of being built up as an eager result list, and
+    per-seed :class:`ScenarioResult` objects are dropped once aggregated
+    unless ``keep_runs=True``.
+    """
+    return replicate_many([(config, design)], seeds, jobs=jobs, keep_runs=keep_runs)[0]
+
+
+class ProgressTracker:
+    """Progress printer + timing accumulator for the CLI.
+
+    Install with ``parallel.set_progress(tracker)``; each finished run
+    prints one :func:`~repro.experiments.report.format_progress` line to
+    ``stream`` (``None`` keeps it silent), and :meth:`summary` renders the
+    totals — runs computed, hits per tier, compute vs. elapsed wall time.
+    Lives in this module so that every wall-clock read stays on the
+    DET002-exempt path.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+        self.computed = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.run_seconds = 0.0
+        self._started = time.perf_counter()
+
+    def __call__(self, event: RunEvent) -> None:
+        if event.source == "run":
+            self.computed += 1
+            self.run_seconds += event.seconds
+        elif event.source == "memo":
+            self.memo_hits += 1
+        else:
+            self.disk_hits += 1
+        if self.stream is not None:
+            line = format_progress(
+                event.index, event.total,
+                f"{event.controller} seed {event.seed}",
+                event.seconds, event.source,
+            )
+            print(line, file=self.stream, flush=True)
+
+    def summary(self) -> str:
+        """One-line totals for everything observed since construction."""
+        return format_sweep_summary(
+            computed=self.computed,
+            memo_hits=self.memo_hits,
+            disk_hits=self.disk_hits,
+            run_seconds=self.run_seconds,
+            elapsed_seconds=time.perf_counter() - self._started,
+        )
+
+
+def stderr_tracker() -> ProgressTracker:
+    """A :class:`ProgressTracker` printing to stderr (the CLI default)."""
+    return ProgressTracker(stream=sys.stderr)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import (
     ClassStats,
@@ -273,24 +273,93 @@ def run_scenario(
 
 @dataclass
 class ReplicatedResult:
-    """Mean of several seeds, with the per-seed results retained."""
+    """Mean of several seeds, with per-class means aggregated streamingly.
+
+    Built with :meth:`aggregate`, which folds per-seed results into running
+    sums one at a time — at ``REPRO_SCALE=1.0`` a sweep touches thousands
+    of runs, and holding every :class:`ScenarioResult` alive for the whole
+    sweep dominates memory.  ``keep_runs=True`` retains the per-seed
+    results for callers that inspect them (``run_replications`` does);
+    aggregated accessors (:attr:`seeds`, :meth:`class_mean`) work either
+    way.
+    """
 
     controller_name: str
     utilization: float
     loss_probability: float
     blocking_probability: float
     runs: List[ScenarioResult] = field(default_factory=list)
+    n_runs: int = 0
+    seeds_used: Tuple[int, ...] = ()
+    per_class_means: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def seeds(self) -> List[int]:
+        if self.seeds_used:
+            return list(self.seeds_used)
         return [r.seed for r in self.runs]
 
     def class_mean(self, label: str, key: str) -> float:
         """Mean of one per-class metric across seeds (0.0 if class absent)."""
+        if self.per_class_means:
+            return self.per_class_means.get(label, {}).get(key, 0.0)
         values = [run.per_class[label][key] for run in self.runs if label in run.per_class]
         if not values:
             return 0.0
         return sum(values) / len(values)
+
+    @classmethod
+    def aggregate(
+        cls,
+        results: Iterable[ScenarioResult],
+        keep_runs: bool = False,
+    ) -> "ReplicatedResult":
+        """Fold per-seed results into means without retaining them all.
+
+        ``results`` is consumed lazily: each headline metric and each
+        per-class metric is accumulated into running sums, and (unless
+        ``keep_runs``) the :class:`ScenarioResult` is dropped before the
+        next one is pulled — peak memory is one run, not the whole sweep.
+        """
+        n = 0
+        controller_name = ""
+        util_sum = loss_sum = block_sum = 0.0
+        seeds: List[int] = []
+        runs: List[ScenarioResult] = []
+        class_sums: Dict[str, Dict[str, float]] = {}
+        class_counts: Dict[str, int] = {}
+        for result in results:
+            if n == 0:
+                controller_name = result.controller_name
+            n += 1
+            util_sum += result.utilization
+            loss_sum += result.loss_probability
+            block_sum += result.blocking_probability
+            seeds.append(result.seed)
+            for label, stats in result.per_class.items():
+                sums = class_sums.setdefault(label, {})
+                class_counts[label] = class_counts.get(label, 0) + 1
+                for stat_key, value in stats.items():
+                    if isinstance(value, (int, float)):
+                        sums[stat_key] = sums.get(stat_key, 0.0) + value
+            if keep_runs:
+                runs.append(result)
+        if n == 0:
+            raise ConfigurationError("need at least one seed")
+        per_class_means = {
+            label: {k: v / class_counts[label] for k, v in sums.items()}
+            for label, sums in class_sums.items()
+        }
+        return cls(
+            controller_name=controller_name,
+            utilization=util_sum / n,
+            loss_probability=loss_sum / n,
+            blocking_probability=block_sum / n,
+            runs=runs,
+            n_runs=n,
+            seeds_used=tuple(seeds),
+            per_class_means=per_class_means,
+        )
 
 
 def run_replications(
@@ -301,16 +370,13 @@ def run_replications(
     """Run the scenario once per seed and average the headline metrics.
 
     The paper averages 7 seeds; the default here is a single seed — pass
-    more for paper-grade smoothing.
+    more for paper-grade smoothing.  Runs are neither cached nor
+    parallelized; sweeps should go through
+    :func:`repro.experiments.parallel.cached_replications` instead.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    runs = [run_scenario(config.with_seed(seed), design) for seed in seeds]
-    n = len(runs)
-    return ReplicatedResult(
-        controller_name=runs[0].controller_name,
-        utilization=sum(r.utilization for r in runs) / n,
-        loss_probability=sum(r.loss_probability for r in runs) / n,
-        blocking_probability=sum(r.blocking_probability for r in runs) / n,
-        runs=runs,
+    return ReplicatedResult.aggregate(
+        (run_scenario(config.with_seed(seed), design) for seed in seeds),
+        keep_runs=True,
     )

@@ -142,10 +142,14 @@ class WallClockChecker(_AliasTrackingChecker):
     message = "wall-clock access in simulation code"
     hint = (
         "use sim.now for simulation time; wall-clock timing belongs in "
-        "benchmarks/ or the experiment cache"
+        "benchmarks/, the experiment cache, or the parallel sweep runner"
     )
     tracked_modules = frozenset({"time", "datetime"})
-    exempt_path_parts = ("benchmarks/", "experiments/cache",)
+    exempt_path_parts = (
+        "benchmarks/",
+        "experiments/cache",
+        "experiments/parallel",
+    )
 
     def __init__(self, context: ModuleContext) -> None:
         super().__init__(context)

@@ -12,6 +12,26 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 
+@pytest.fixture(autouse=True)
+def _isolate_sweep_state(tmp_path, monkeypatch):
+    """Keep the sweep runner's process-global knobs hermetic per test.
+
+    CLI entry points install a default cache directory, a jobs count and
+    a progress hook; any test that exercises them would otherwise leak
+    that state (and disk-cache writes) into later tests.  The CLI default
+    cache dir is redirected into the test's tmp_path, and all three knobs
+    are reset afterwards.  The in-process memo cache is deliberately left
+    alone — sharing it across tests is long-standing behavior.
+    """
+    from repro.experiments import cache, cli, parallel
+
+    monkeypatch.setattr(cli, "DEFAULT_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+    cache.set_cache_dir(None)
+    parallel.set_jobs(None)
+    parallel.set_progress(None)
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

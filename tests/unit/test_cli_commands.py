@@ -20,12 +20,13 @@ def canned_result():
 def test_run_command_prints_metrics(monkeypatch, capsys, canned_result):
     captured = {}
 
-    def fake_run(config, spec):
+    def fake_run_many(tasks, **kwargs):
+        ((config, spec),) = tasks
         captured["config"] = config
         captured["spec"] = spec
-        return canned_result
+        return [canned_result]
 
-    monkeypatch.setattr(cli, "run_scenario", fake_run)
+    monkeypatch.setattr(cli.parallel, "run_many", fake_run_many)
     assert cli.main(["run", "basic", "--design", "drop/in-band",
                      "--epsilon", "0.02", "--scale", "0.01"]) == 0
     out = capsys.readouterr().out
@@ -39,8 +40,8 @@ def test_run_command_prints_metrics(monkeypatch, capsys, canned_result):
 def test_run_command_mbac(monkeypatch, capsys, canned_result):
     captured = {}
     monkeypatch.setattr(
-        cli, "run_scenario",
-        lambda config, spec: captured.update(spec=spec) or canned_result,
+        cli.parallel, "run_many",
+        lambda tasks, **kw: captured.update(spec=tasks[0][1]) or [canned_result],
     )
     assert cli.main(["run", "basic", "--mbac", "0.95"]) == 0
     assert isinstance(captured["spec"], MbacConfig)
@@ -50,8 +51,8 @@ def test_run_command_mbac(monkeypatch, capsys, canned_result):
 def test_run_command_no_controller(monkeypatch, capsys, canned_result):
     captured = {}
     monkeypatch.setattr(
-        cli, "run_scenario",
-        lambda config, spec: captured.update(spec=spec) or canned_result,
+        cli.parallel, "run_many",
+        lambda tasks, **kw: captured.update(spec=tasks[0][1]) or [canned_result],
     )
     assert cli.main(["run", "basic"]) == 0
     assert captured["spec"] is None

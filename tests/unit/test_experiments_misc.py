@@ -5,6 +5,7 @@ import pytest
 from repro.core.design import CongestionSignal, EndpointDesign, ProbeBand, ProbingScheme
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import cache as run_cache
+from repro.experiments import parallel
 from repro.experiments.cli import EXPERIMENTS, build_parser, main, parse_design
 from repro.experiments.lossload import (
     LossLoadCurve,
@@ -134,8 +135,10 @@ class TestCache:
     def test_cached_replications(self):
         run_cache.clear_cache()
         config = ScenarioConfig(source="EXP1", interarrival=2.0, **FAST)
-        rep = run_cache.cached_replications(config, DESIGN, seeds=(1, 2))
-        assert len(rep.runs) == 2
+        rep = parallel.cached_replications(config, DESIGN, seeds=(1, 2))
+        assert rep.n_runs == 2
+        assert rep.seeds == [1, 2]
+        assert rep.runs == []  # per-seed results dropped once aggregated
         assert run_cache.cache_size() == 2
 
 

@@ -1,0 +1,235 @@
+"""Unit tests for the persistent result cache and the parallel sweep runner.
+
+Covers the disk tier's contract (content-addressed keys stable across
+processes, corruption tolerance, two-tier ``clear_cache``) and the
+parallel runner's determinism contract (``jobs=4`` output byte-identical
+to serial, task-ordered progress events, streaming replication).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import cache, parallel
+from repro.experiments.lossload import CurveSpec, sweep_loss_load_curves
+from repro.experiments.report import format_curves
+from repro.experiments.runner import ScenarioConfig
+from repro.units import mbps
+
+FAST = dict(duration=60.0, warmup=20.0, lifetime_mean=20.0,
+            link_rate_bps=mbps(2))
+
+DESIGN = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                        ProbingScheme.SLOW_START)
+
+
+def fast_config(seed: int = 1) -> ScenarioConfig:
+    return ScenarioConfig(source="EXP1", interarrival=2.0, seed=seed, **FAST)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """These tests reason about hit/miss tiers, so start each from empty."""
+    cache.set_cache_dir(None)
+    cache.clear_cache(disk=False)
+    yield
+    cache.set_cache_dir(None)
+    cache.clear_cache(disk=False)
+
+
+class TestRunKey:
+    def test_stable_within_process(self):
+        config = fast_config()
+        assert cache.run_key(config, DESIGN) == cache.run_key(config, DESIGN)
+
+    def test_distinguishes_seed_and_controller(self):
+        keys = {
+            cache.run_key(fast_config(1), DESIGN),
+            cache.run_key(fast_config(2), DESIGN),
+            cache.run_key(fast_config(1), DESIGN.with_epsilon(0.05)),
+            cache.run_key(fast_config(1), None),
+        }
+        assert len(keys) == 4
+
+    def test_stable_across_processes(self):
+        """The disk tier only works if a fresh interpreter derives the
+        same key for the same (config, design) — no id()/hash() leakage."""
+        script = (
+            "from repro.core.design import CongestionSignal, EndpointDesign, "
+            "ProbeBand, ProbingScheme\n"
+            "from repro.experiments import cache\n"
+            "from repro.experiments.runner import ScenarioConfig\n"
+            "from repro.units import mbps\n"
+            "config = ScenarioConfig(source='EXP1', interarrival=2.0, seed=7,\n"
+            "                        duration=60.0, warmup=20.0,\n"
+            "                        lifetime_mean=20.0, link_rate_bps=mbps(2))\n"
+            "design = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,\n"
+            "                        ProbingScheme.SLOW_START, epsilon=0.02)\n"
+            "print(cache.run_key(config, design))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        here = cache.run_key(
+            fast_config(7), DESIGN.with_epsilon(0.02)
+        )
+        assert child.stdout.strip() == here
+
+
+class TestDiskCache:
+    def test_disabled_without_directory(self):
+        assert cache.get_cache_dir() is None
+        cache.cached_run(fast_config(), DESIGN)
+        assert cache.disk_cache_size() == 0
+
+    def test_miss_compute_then_disk_hit(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        config = fast_config()
+        computed = cache.cached_run(config, DESIGN)
+        assert cache.disk_cache_size() == 1
+        cache.clear_cache(disk=False)  # drop the memo, keep the file
+        loaded, tier = cache.lookup(config, DESIGN)
+        assert tier == "disk"
+        assert loaded == computed  # dataclass-equal after the JSON round trip
+        # The disk hit was promoted into the memo.
+        assert cache.lookup(config, DESIGN)[1] == "memo"
+
+    def test_corrupt_file_recovered(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        config = fast_config()
+        computed = cache.cached_run(config, DESIGN)
+        entry = next(Path(tmp_path).glob("*.json"))
+        entry.write_text("{definitely not json")
+        cache.clear_cache(disk=False)
+        recomputed = cache.cached_run(config, DESIGN)
+        assert recomputed == computed
+        # The bad file was evicted and replaced with a valid one.
+        assert json.loads(entry.read_text())["schema"] == cache.SCHEMA_VERSION
+
+    def test_wrong_schema_discarded(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        config = fast_config()
+        cache.cached_run(config, DESIGN)
+        entry = next(Path(tmp_path).glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["schema"] = cache.SCHEMA_VERSION + 1
+        entry.write_text(json.dumps(payload))
+        cache.clear_cache(disk=False)
+        assert cache.lookup(config, DESIGN) == (None, "miss")
+
+    def test_clear_cache_clears_both_tiers(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        cache.cached_run(fast_config(), DESIGN)
+        assert cache.cache_size() == 1
+        assert cache.disk_cache_size() == 1
+        cache.clear_cache()
+        assert cache.cache_size() == 0
+        assert cache.disk_cache_size() == 0
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert parallel.resolve_jobs() == 1
+
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        parallel.set_jobs(2)
+        assert parallel.resolve_jobs(3) == 3
+
+    def test_set_jobs_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        parallel.set_jobs(2)
+        assert parallel.resolve_jobs() == 2
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert parallel.resolve_jobs() == 5
+
+    def test_zero_means_cpu_count(self):
+        assert parallel.resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            parallel.resolve_jobs(-1)
+        with pytest.raises(ConfigurationError):
+            parallel.set_jobs(-2)
+
+    def test_rejects_bad_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ConfigurationError):
+            parallel.resolve_jobs()
+
+
+class TestParallelDeterminism:
+    def test_jobs4_byte_identical_to_serial(self, tmp_path):
+        """A figure sweep rendered from a 4-worker run is byte-for-byte
+        the text rendered from a serial run (and fills the same cache)."""
+        config = fast_config()
+        sweeps = [CurveSpec.for_design(DESIGN, epsilons=(0.0, 0.05))]
+
+        cache.set_cache_dir(tmp_path / "serial")
+        serial = sweep_loss_load_curves(config, sweeps, seeds=(1, 2), jobs=1)
+        serial_keys = sorted(p.name for p in (tmp_path / "serial").glob("*.json"))
+
+        cache.clear_cache(disk=False)
+        cache.set_cache_dir(tmp_path / "pool")
+        pooled = sweep_loss_load_curves(config, sweeps, seeds=(1, 2), jobs=4)
+        pooled_keys = sorted(p.name for p in (tmp_path / "pool").glob("*.json"))
+
+        assert format_curves(pooled) == format_curves(serial)
+        assert pooled_keys == serial_keys
+
+    def test_progress_events_are_task_ordered(self):
+        events = []
+        tasks = [(fast_config(seed), DESIGN) for seed in (1, 2, 3)]
+        results = parallel.run_many(tasks, jobs=2, progress=events.append)
+        assert len(results) == 3
+        assert sorted(e.index for e in events) == [0, 1, 2]
+        assert {e.total for e in events} == {3}
+        assert {e.source for e in events} == {"run"}
+        # Second pass: everything is a memo hit, reported in task order.
+        events.clear()
+        parallel.run_many(tasks, jobs=2, progress=events.append)
+        assert [e.index for e in events] == [0, 1, 2]
+        assert {e.source for e in events} == {"memo"}
+
+    def test_replicate_many_streams_by_default(self):
+        rep = parallel.cached_replications(fast_config(), DESIGN, seeds=(1, 2))
+        assert rep.n_runs == 2
+        assert rep.runs == []
+        kept = parallel.cached_replications(
+            fast_config(), DESIGN, seeds=(1, 2), keep_runs=True
+        )
+        assert len(kept.runs) == 2
+        assert kept.utilization == rep.utilization
+        assert kept.loss_probability == rep.loss_probability
+        assert kept.seeds == rep.seeds == [1, 2]
+
+
+class TestProgressTracker:
+    def test_counts_and_summary(self, capsys):
+        tracker = parallel.ProgressTracker(stream=sys.stderr)
+        tasks = [(fast_config(9), DESIGN)]
+        parallel.run_many(tasks, progress=tracker)
+        parallel.run_many(tasks, progress=tracker)
+        assert tracker.computed == 1
+        assert tracker.memo_hits == 1
+        summary = tracker.summary()
+        assert "2 runs: 1 simulated" in summary
+        assert "1 memo hits" in summary
+        err = capsys.readouterr().err
+        assert "[1/1]" in err and "(memo hit)" in err
