@@ -48,6 +48,54 @@ def test_engine_event_throughput(benchmark):
     assert events >= 100_000
 
 
+def test_strict_mode_overhead(benchmark, report):
+    """Dispatch-validation cost of ``Simulator(strict=True)``.
+
+    The test suite runs every simulator strict by default, so this pins
+    the price of that choice: the same 100k-event loop, unchecked vs
+    checked.  The overhead must stay well under 2x — strict mode adds one
+    finite check, one monotonicity compare, and one garbage-ratio test
+    per dispatch, nothing algorithmic.
+    """
+
+    def run_events(strict):
+        sim = Simulator(strict=strict)
+        remaining = [100_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.call(0.001, tick)
+
+        for __ in range(100):
+            sim.call(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    plain_rounds = []
+    for __ in range(3):
+        start = time.perf_counter()
+        run_events(False)
+        plain_rounds.append(time.perf_counter() - start)
+    plain_seconds = min(plain_rounds)
+    events = benchmark.pedantic(run_events, args=(True,), rounds=3, iterations=1)
+    strict_seconds = benchmark.stats.stats.min
+    overhead = strict_seconds / plain_seconds - 1.0
+    report.record(
+        "strict_mode_overhead",
+        format_table(
+            ("mode", "seconds", "overhead"),
+            [
+                ("default", plain_seconds, "--"),
+                ("strict", strict_seconds, f"{overhead:+.1%}"),
+            ],
+            title="-- strict-mode dispatch validation overhead",
+        ),
+    )
+    assert events >= 100_000
+    assert strict_seconds < 2.0 * plain_seconds
+
+
 def test_datapath_packet_throughput(benchmark):
     """Packets/second through enqueue -> serialize -> deliver."""
 

@@ -31,22 +31,28 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.traffic.flowgen import FlowRequest
 
-_COUNTER_FIELDS = ("sent", "delivered", "dropped", "marked",
+_COUNTER_FIELDS = ("sent", "delivered", "dropped", "marked", "lost",
                    "bytes_sent", "bytes_delivered")
+
+#: Per-class decision tallies beyond offered/admitted (see FlowOutcome).
+_DECISION_FIELDS = ("timed_out", "retries")
 
 
 class ClassStats:
     """Aggregated per-class results over the measurement window."""
 
-    __slots__ = ("offered", "admitted") + _COUNTER_FIELDS
+    __slots__ = ("offered", "admitted") + _DECISION_FIELDS + _COUNTER_FIELDS
 
     def __init__(self) -> None:
         self.offered = 0
         self.admitted = 0
+        self.timed_out = 0
+        self.retries = 0
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
         self.marked = 0
+        self.lost = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
 
@@ -63,10 +69,15 @@ class ClassStats:
 
     @property
     def loss_probability(self) -> float:
-        """Data-packet loss fraction over the measurement window."""
+        """Data-packet loss fraction over the measurement window.
+
+        Includes silent blackhole losses (``lost``): the experimenter is
+        omniscient even where the endpoints are not, and a packet lost to
+        a failed link degraded the flow exactly like an observed drop.
+        """
         if self.sent == 0:
             return 0.0
-        return self.dropped / self.sent
+        return (self.dropped + self.lost) / self.sent
 
     def add_counters(
         self,
@@ -82,7 +93,7 @@ class ClassStats:
     def merge(self, other: "ClassStats") -> None:
         self.offered += other.offered
         self.admitted += other.admitted
-        for name in _COUNTER_FIELDS:
+        for name in _DECISION_FIELDS + _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> Dict[str, Any]:
@@ -91,6 +102,8 @@ class ClassStats:
             offered=self.offered,
             admitted=self.admitted,
             blocked=self.blocked,
+            timed_out=self.timed_out,
+            retries=self.retries,
             blocking_probability=self.blocking_probability,
             loss_probability=self.loss_probability,
         )
@@ -108,7 +121,8 @@ class ControllerBase:
         self.outcomes: List[FlowOutcome] = []
         self._live: Dict[int, FlowOutcome] = {}
         self._baselines: Dict[int, Dict[str, int]] = {}
-        self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        # Per-label [offered, admitted, timed_out, retries] tallies.
+        self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0, 0, 0])
         self.measuring = False
         self.measure_start = 0.0
 
@@ -161,6 +175,9 @@ class ControllerBase:
             counts[0] += 1
             if outcome.admitted:
                 counts[1] += 1
+            if outcome.timed_out:
+                counts[2] += 1
+            counts[3] += outcome.retries
         if outcome.admitted:
             self._live[outcome.flow_id] = outcome
 
@@ -192,10 +209,12 @@ class ControllerBase:
     def class_stats(self) -> Dict[str, ClassStats]:
         """Per-class aggregates over the measurement window."""
         result: Dict[str, ClassStats] = defaultdict(ClassStats)
-        for label, (offered, admitted) in self._decisions.items():
+        for label, (offered, admitted, timed_out, retries) in self._decisions.items():
             stats = result[label]
             stats.offered = offered
             stats.admitted = admitted
+            stats.timed_out = timed_out
+            stats.retries = retries
         for outcome in self.outcomes:
             if outcome.data is None:
                 continue

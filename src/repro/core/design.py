@@ -117,6 +117,21 @@ class EndpointDesign:
     #: How the probe stream reflects the declared token bucket (Section
     #: 3.1's optional refinements; the paper's simulations use SMOOTH).
     probe_shape: ProbeShape = ProbeShape.SMOOTH
+    #: Probe feedback deadline (seconds): if a probing interval of this
+    #: length passes with *no* feedback (no delivery, drop, or mark), the
+    #: attempt is abandoned.  ``None`` (the paper's implicit setting)
+    #: waits forever — correct on a healthy network, fatal on a failed
+    #: link, which blackholes probes without any signal.  Choose a value
+    #: below ``probe_duration`` for the deadline to matter.
+    probe_timeout: Optional[float] = None
+    #: How many times a timed-out probe is retried before giving up.
+    probe_retries: int = 0
+    #: Wait before the first re-probe (seconds); doubles per retry.
+    retry_backoff: float = 1.0
+    #: Hard deadline from flow arrival (seconds) after which the flow
+    #: gives up regardless of retry budget — the user reneges.  ``None``
+    #: never reneges.
+    renege_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.epsilon < 1.0:
@@ -140,6 +155,22 @@ class EndpointDesign:
             raise ConfigurationError(
                 "RED is only supported for in-band designs (the out-of-band "
                 "two-level priority queue is drop-tail with push-out)"
+            )
+        if self.probe_timeout is not None and self.probe_timeout <= 0:
+            raise ConfigurationError(
+                f"probe timeout must be positive, got {self.probe_timeout!r}"
+            )
+        if self.probe_retries < 0:
+            raise ConfigurationError(
+                f"probe retries must be non-negative, got {self.probe_retries!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry backoff must be non-negative, got {self.retry_backoff!r}"
+            )
+        if self.renege_time is not None and self.renege_time <= 0:
+            raise ConfigurationError(
+                f"renege time must be positive, got {self.renege_time!r}"
             )
 
     # -- derived -----------------------------------------------------------
@@ -168,6 +199,22 @@ class EndpointDesign:
     def with_probing(self, probing: ProbingScheme) -> "EndpointDesign":
         """Copy of this design with a different probing scheme."""
         return replace(self, probing=probing)
+
+    def with_resilience(
+        self,
+        probe_timeout: Optional[float],
+        probe_retries: int = 0,
+        retry_backoff: float = 1.0,
+        renege_time: Optional[float] = None,
+    ) -> "EndpointDesign":
+        """Copy of this design with the fault-resilience knobs set."""
+        return replace(
+            self,
+            probe_timeout=probe_timeout,
+            probe_retries=probe_retries,
+            retry_backoff=retry_backoff,
+            renege_time=renege_time,
+        )
 
     # -- router support ------------------------------------------------------
 

@@ -51,7 +51,10 @@ class FlowOutcome:
 
     ``data`` is the accounting object of the data phase (None when the flow
     was rejected); ``end_time`` is None while the data phase is still
-    running.
+    running.  ``timed_out`` marks flows that gave up without a verdict —
+    the probe deadline expired past the retry budget, or the renege
+    deadline fired; such flows count as blocked.  ``retries`` is the
+    number of re-probe attempts made; ``probe`` covers the final attempt.
     """
 
     flow_id: int
@@ -64,6 +67,8 @@ class FlowOutcome:
     probe_fraction: float = math.nan
     data: Optional[FlowAccounting] = None
     end_time: Optional[float] = None
+    timed_out: bool = False
+    retries: int = 0
 
     @property
     def completed(self) -> bool:
@@ -128,25 +133,12 @@ class EndpointAgent:
             int(rate * self._interval_len / packet_bits) for rate in self._rates
         )
 
-        self.probe_flow = FlowAccounting(request.flow_id)
-        if design.probe_shape is ProbeShape.BURSTY:
-            from repro.traffic.burst import BurstProbeSource
-
-            self._probe_source: Source = BurstProbeSource(
-                sim, route, sink, self.probe_flow, self._rates[0],
-                spec.token_bucket_bytes, spec.packet_bytes,
-                kind=PROBE, prio=design.probe_prio,
-            )
-        else:
-            self._probe_source = ConstantRateSource(
-                sim, route, sink, self.probe_flow, self._rates[0],
-                spec.packet_bytes, kind=PROBE, prio=design.probe_prio,
-            )
-        self._interval_index = 0
-        self._interval_base_sent = 0
-        self._interval_base_bad = 0
         self._decided = False
         self._checkpoint: Optional[EventHandle] = None
+        self._watchdog: Optional[EventHandle] = None
+        self._renege_handle: Optional[EventHandle] = None
+        self._attempt = 0
+        self._watch_feedback = 0
         self.data_source: Optional[Source] = None
 
         # Simple probing aborts once the loss budget is exhausted: more than
@@ -155,11 +147,44 @@ class EndpointAgent:
             self._abort_budget: Optional[int] = int(
                 math.floor(self.epsilon * self._planned_packets)
             )
+        else:
+            self._abort_budget = None
+
+        self._setup_attempt()
+
+    def _setup_attempt(self) -> None:
+        """Fresh probe accounting and probe source for one (re-)probe attempt.
+
+        Every attempt starts from a clean slate — counters of a failed
+        attempt must not leak into the next decision — so the accounting
+        object, the probe source, and the interval bookkeeping are all
+        rebuilt here.  Called from ``__init__`` and from :meth:`_retry`.
+        """
+        design = self.design
+        spec = self.request.spec
+        self.probe_flow = FlowAccounting(self.request.flow_id)
+        if design.probe_shape is ProbeShape.BURSTY:
+            from repro.traffic.burst import BurstProbeSource
+
+            self._probe_source: Source = BurstProbeSource(
+                self.sim, self.route, self.sink, self.probe_flow,
+                self._rates[0], spec.token_bucket_bytes, spec.packet_bytes,
+                kind=PROBE, prio=design.probe_prio,
+            )
+        else:
+            self._probe_source = ConstantRateSource(
+                self.sim, self.route, self.sink, self.probe_flow,
+                self._rates[0], spec.packet_bytes,
+                kind=PROBE, prio=design.probe_prio,
+            )
+        self._interval_index = 0
+        self._interval_base_sent = 0
+        self._interval_base_bad = 0
+        self._watch_feedback = 0
+        if self._abort_budget is not None:
             self.probe_flow.drop_hook = self._check_budget
             if design.signal is CongestionSignal.MARK:
                 self.probe_flow.mark_hook = self._check_budget
-        else:
-            self._abort_budget = None
 
     # -- congestion bookkeeping ---------------------------------------------
 
@@ -180,8 +205,74 @@ class EndpointAgent:
 
     def begin(self) -> None:
         """Start probing (called once, at flow arrival)."""
+        renege = self.design.renege_time
+        if renege is not None:
+            self._renege_handle = self.sim.schedule(renege, self._renege)
+        self._start_attempt()
+
+    def _start_attempt(self) -> None:
         self._probe_source.start()
         self._checkpoint = self.sim.schedule(self._interval_len, self._interval_end)
+        timeout = self.design.probe_timeout
+        if timeout is not None:
+            self._watchdog = self.sim.schedule(timeout, self._watchdog_tick)
+
+    # -- graceful degradation (probe deadline, retry, renege) -----------------
+
+    def _feedback_count(self) -> int:
+        """Evidence the probe stream is reaching the network at all.
+
+        Deliveries, observed drops, and marks all count — a congested but
+        live path produces feedback; only a blackhole produces none.
+        """
+        flow = self.probe_flow
+        return flow.delivered + flow.dropped + flow.marked
+
+    def _watchdog_tick(self) -> None:
+        timeout = self.design.probe_timeout
+        if self._decided or timeout is None:
+            return
+        feedback = self._feedback_count()
+        if feedback > self._watch_feedback:
+            self._watch_feedback = feedback
+            self._watchdog = self.sim.schedule(timeout, self._watchdog_tick)
+            return
+        self._attempt_failed()
+
+    def _attempt_failed(self) -> None:
+        """A full deadline passed with no feedback: back off or give up."""
+        self._probe_source.stop()
+        if self._checkpoint is not None:
+            self._checkpoint.cancel()
+            self._checkpoint = None
+        self._watchdog = None
+        if self._attempt >= self.design.probe_retries:
+            self._give_up()
+            return
+        self._attempt += 1
+        self.outcome.retries = self._attempt
+        backoff = self.design.retry_backoff * (2.0 ** (self._attempt - 1))
+        # Un-cancellable by design: _retry guards on _decided, so a renege
+        # during the backoff wait turns it into a no-op.
+        self.sim.schedule(backoff, self._retry)
+
+    def _retry(self) -> None:
+        if self._decided:
+            return
+        self._setup_attempt()
+        self._start_attempt()
+
+    def _give_up(self) -> None:
+        self.outcome.timed_out = True
+        self._reject()
+
+    def _renege(self) -> None:
+        """Hard deadline from arrival: the user walks away."""
+        if self._decided:
+            return
+        self._renege_handle = None
+        self.outcome.timed_out = True
+        self._reject()
 
     def _interval_end(self) -> None:
         if self._decided:
@@ -228,6 +319,12 @@ class EndpointAgent:
         if self._checkpoint is not None:
             self._checkpoint.cancel()
             self._checkpoint = None
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self._renege_handle is not None:
+            self._renege_handle.cancel()
+            self._renege_handle = None
         flow = self.probe_flow
         flow.drop_hook = None
         flow.mark_hook = None

@@ -26,3 +26,27 @@ class TopologyError(ReproError):
 
 class ModelError(ReproError):
     """An analytic model (fluid/Markov) was given parameters it cannot solve."""
+
+
+class SweepError(ReproError):
+    """A parallel sweep could not produce its full result sequence."""
+
+
+class SweepTaskError(SweepError):
+    """One task of a sweep raised deterministically (in every retry it would
+    fail the same way), so the sweep aborts instead of retrying.
+
+    Carries enough identity to reproduce the failure in isolation:
+    ``task_index`` is the position in the sweep's task list and ``run_key``
+    is the content hash :func:`repro.experiments.cache.run_key` assigns the
+    (config, controller) pair.
+    """
+
+    def __init__(self, message: str, task_index: int, run_key: str) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.run_key = run_key
+
+
+class SweepWorkerError(SweepError):
+    """Worker processes kept dying (or hanging) past the retry budget."""

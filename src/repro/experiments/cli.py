@@ -86,12 +86,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _apply_execution_options(args: argparse.Namespace) -> parallel.ProgressTracker:
-    """Wire --jobs/--cache-dir/--no-cache into the sweep runner's state.
+    """Wire --jobs/--cache-dir/--no-cache/--task-timeout into sweep state.
 
     Returns the installed progress tracker so command handlers can print
     its timing summary after the work is done.
     """
     parallel.set_jobs(args.jobs)
+    parallel.set_task_timeout(getattr(args, "task_timeout", None))
     cache.set_cache_dir(None if args.no_cache else args.cache_dir)
     tracker = parallel.stderr_tracker()
     parallel.set_progress(tracker)
@@ -113,6 +114,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"loss prob  : {result.loss_probability:.3e}")
     print(f"blocking   : {result.blocking_probability:.4f} "
           f"({result.blocked}/{result.offered})")
+    if result.fault_events:
+        print(f"faults     : {result.fault_events} events injected")
     for label, stats in sorted(result.per_class.items()):
         print(f"  class {label}: blocking={stats['blocking_probability']:.4f} "
               f"loss={stats['loss_probability']:.3e}")
@@ -151,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default {DEFAULT_CACHE_DIR})")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       help="no-progress deadline (seconds) before a "
+                            "parallel sweep presumes hung workers and "
+                            "recycles the pool (default: wait forever)")
 
     run_p = sub.add_parser("run", help="run one scenario under one controller")
     add_execution_flags(run_p)

@@ -17,6 +17,19 @@ while preserving bit-for-bit determinism:
   any process is spawned and filled as results arrive, so a parallel
   sweep and a serial sweep leave identical cache contents.
 
+The harness is crash-tolerant (DESIGN.md §10): a worker process dying
+(OOM kill, segfault, ``os._exit``) breaks the pool, but never the sweep —
+results completed before the crash are harvested, the pool is respawned,
+and only the unfinished tasks are resubmitted, with capped exponential
+backoff between rounds and a bounded per-task retry budget.  Because each
+run is a pure function of its task, a retried task recomputes exactly the
+bytes the first attempt would have produced, so the yielded sequence stays
+byte-identical to the serial path even through injected crashes.  Tasks
+that raise *deterministically* (the same exception every attempt) are
+never retried: the sweep aborts with a :class:`~repro.errors.SweepTaskError`
+carrying the failing task's cache ``run_key``, so the failure is
+reproducible in isolation.
+
 Wall-clock timing of runs lives here (and only here) by design: the
 module is on the determinism linter's explicit DET002 exemption list,
 next to ``benchmarks/`` — see DESIGN.md §9.
@@ -32,7 +45,13 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -46,7 +65,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepTaskError, SweepWorkerError
 from repro.experiments import cache
 from repro.experiments.report import format_progress, format_sweep_summary
 from repro.experiments.runner import (
@@ -64,11 +83,15 @@ RunTask = Tuple[ScenarioConfig, ControllerSpec]
 
 @dataclass(frozen=True)
 class RunEvent:
-    """Progress record for one finished run of a sweep.
+    """Progress record for one observed event of a sweep.
 
     ``source`` is ``"run"`` for a fresh simulation, ``"memo"``/``"disk"``
-    for a cache hit; ``seconds`` is the wall-clock compute time (0 for
-    hits).
+    for a cache hit, ``"failed"`` for a task that raised deterministically
+    (the sweep aborts right after emitting it), and ``"retry"`` for a task
+    being resubmitted after a worker crash or stall.  ``seconds`` is the
+    wall-clock compute time (0 for everything but ``"run"``); ``error``
+    carries the exception repr for ``"failed"`` and the attempt counter
+    for ``"retry"``, and is empty otherwise.
     """
 
     index: int
@@ -77,12 +100,24 @@ class RunEvent:
     seed: int
     seconds: float
     source: str
+    error: str = ""
 
 
 ProgressCallback = Callable[[RunEvent], None]
 
 _progress_hook: Optional[ProgressCallback] = None
 _configured_jobs: Optional[int] = None
+_configured_task_timeout: Optional[float] = None
+#: Test/drill seam: called with the task at the top of every ``_compute``.
+#: Installed in the parent before the pool spawns, it reaches workers via
+#: fork — a hook that crashes the process exercises the recovery path.
+_task_hook: Optional[Callable[[RunTask], None]] = None
+
+#: Per-task resubmission budget after worker crashes or stalls.
+DEFAULT_TASK_RETRIES = 2
+#: First inter-round backoff (seconds); doubles per round, capped below.
+_RETRY_BACKOFF = 0.25
+_RETRY_BACKOFF_CAP = 2.0
 
 
 def set_progress(callback: Optional[ProgressCallback]) -> None:
@@ -101,6 +136,32 @@ def set_jobs(jobs: Optional[int]) -> None:
     if jobs is not None and jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs!r}")
     _configured_jobs = jobs
+
+
+def set_task_timeout(seconds: Optional[float]) -> None:
+    """Set the process-wide no-progress deadline (``None`` to unset).
+
+    When set, a parallel sweep in which *no* task completes for this many
+    seconds presumes the workers are hung, recycles the pool, and retries
+    the unfinished tasks (within the retry budget).
+    """
+    global _configured_task_timeout
+    if seconds is not None and seconds <= 0:
+        raise ConfigurationError(
+            f"task timeout must be positive, got {seconds!r}"
+        )
+    _configured_task_timeout = seconds
+
+
+def set_task_hook(hook: Optional[Callable[[RunTask], None]]) -> None:
+    """Install the per-task worker hook (``None`` to remove it).
+
+    Fault-injection seam for tests and the CI crash drill: the hook runs
+    inside the worker at the top of every task computation.  Install it
+    *before* the sweep starts so forked workers inherit it.
+    """
+    global _task_hook
+    _task_hook = hook
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -125,6 +186,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 def _compute(task: RunTask) -> Tuple[ScenarioResult, float]:
     """Worker entry point: run one task, timing it (picklable top-level)."""
+    hook = _task_hook
+    if hook is not None:
+        hook(task)
     start = time.perf_counter()
     result = run_scenario(task[0], task[1])
     return result, time.perf_counter() - start
@@ -137,6 +201,7 @@ def _emit(
     task: RunTask,
     seconds: float,
     source: str,
+    error: str = "",
 ) -> None:
     if progress is not None:
         progress(RunEvent(
@@ -146,31 +211,70 @@ def _emit(
             seed=task[0].seed,
             seconds=seconds,
             source=source,
+            error=error,
         ))
+
+
+def _task_error(
+    progress: Optional[ProgressCallback],
+    index: int,
+    total: int,
+    task: RunTask,
+    exc: BaseException,
+) -> SweepTaskError:
+    """A ``"failed"`` event plus the :class:`SweepTaskError` to raise.
+
+    The error message carries the task's cache ``run_key`` so the failing
+    run can be reproduced in isolation (``cached_run`` on the same config
+    recomputes exactly this task).
+    """
+    _emit(progress, index, total, task, 0.0, "failed", error=repr(exc))
+    key = cache.run_key(task[0], task[1])
+    return SweepTaskError(
+        f"sweep task {index} ({_controller_name(task[1])}, seed "
+        f"{task[0].seed}) failed deterministically: {exc!r} [run_key {key}]",
+        task_index=index,
+        run_key=key,
+    )
 
 
 def iter_run_results(
     tasks: Iterable[RunTask],
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: Optional[int] = None,
 ) -> Iterator[ScenarioResult]:
     """Yield one :class:`ScenarioResult` per task, in task order.
 
     The determinism contract: the yielded sequence is a pure function of
     the task list — identical for ``jobs=1`` and ``jobs=N``, with or
-    without cache hits.  Workers only ever *compute*; ordering, caching,
-    and aggregation stay in the parent, so completion order (the one
-    nondeterministic ingredient of a pool) never reaches a result stream.
+    without cache hits, and with or without worker crashes along the way.
+    Workers only ever *compute*; ordering, caching, and aggregation stay
+    in the parent, so completion order (the one nondeterministic
+    ingredient of a pool) never reaches a result stream.
 
     Cache misses are fanned out over ``resolve_jobs(jobs)`` worker
     processes when there is more than one of them; results are stored
-    into both cache tiers as they complete.  Consumed lazily, the serial
-    path holds one uncached result at a time.
+    into both cache tiers as they complete (a killed sweep keeps its
+    finished work and resumes from the disk tier).  Consumed lazily, the
+    serial path holds one uncached result at a time.
+
+    ``task_timeout`` is a no-progress deadline for the parallel path (see
+    :func:`set_task_timeout`); ``task_retries`` bounds per-task
+    resubmissions after crashes/stalls (default
+    :data:`DEFAULT_TASK_RETRIES`).  A task that *raises* is never
+    retried — that failure is deterministic, and the sweep aborts with a
+    :class:`~repro.errors.SweepTaskError` naming the task's ``run_key``.
     """
     task_list = list(tasks)
     total = len(task_list)
     if progress is None:
         progress = _progress_hook
+    if task_timeout is None:
+        task_timeout = _configured_task_timeout
+    if task_retries is None:
+        task_retries = DEFAULT_TASK_RETRIES
     ready: Dict[int, ScenarioResult] = {}
     misses: List[int] = []
     for i, task in enumerate(task_list):
@@ -183,16 +287,49 @@ def iter_run_results(
 
     workers = min(resolve_jobs(jobs), len(misses))
     if workers > 1:
-        yield from _pool_results(task_list, misses, ready, workers, progress)
+        yield from _pool_results(
+            task_list, misses, ready, workers, progress,
+            task_timeout, task_retries,
+        )
         return
     for i in range(total):
         result = ready.pop(i, None)
         if result is None:
             task = task_list[i]
-            result, seconds = _compute(task)
+            try:
+                result, seconds = _compute(task)
+            except Exception as exc:
+                raise _task_error(progress, i, total, task, exc) from exc
             cache.store(task[0], task[1], result)
             _emit(progress, i, total, task, seconds, "run")
         yield result
+
+
+def _serial_fill(
+    task_list: List[RunTask],
+    indices: Sequence[int],
+    ready: Dict[int, ScenarioResult],
+    progress: Optional[ProgressCallback],
+    total: int,
+) -> None:
+    """Compute ``indices`` in the parent process (no-pool fallback)."""
+    for i in indices:
+        task = task_list[i]
+        try:
+            result, seconds = _compute(task)
+        except Exception as exc:
+            raise _task_error(progress, i, total, task, exc) from exc
+        cache.store(task[0], task[1], result)
+        _emit(progress, i, total, task, seconds, "run")
+        ready[i] = result
+
+
+def _new_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """A fresh pool, or ``None`` when the platform can't provide one."""
+    try:
+        return ProcessPoolExecutor(max_workers=workers)
+    except (NotImplementedError, OSError):
+        return None
 
 
 def _pool_results(
@@ -201,42 +338,96 @@ def _pool_results(
     ready: Dict[int, ScenarioResult],
     workers: int,
     progress: Optional[ProgressCallback],
+    task_timeout: Optional[float],
+    task_retries: int,
 ) -> Iterator[ScenarioResult]:
     """Fan the missing indices out over a process pool; yield in task order.
 
     Completed results are cached immediately (a crashed sweep keeps its
     finished work) and buffered until every earlier index is available, so
     the output order is the task order regardless of completion order.
+
+    Crash recovery: a dead worker poisons every unfinished future of its
+    pool with :class:`BrokenExecutor`, but futures that completed *before*
+    the crash still hold their results — those are harvested, the broken
+    pool is discarded, and only the still-outstanding indices are
+    resubmitted to a fresh pool after a capped exponential backoff.  Each
+    resubmission round charges one attempt to every outstanding task; a
+    task over ``task_retries`` attempts aborts the sweep with
+    :class:`SweepWorkerError`.  A ``task_timeout`` with no completion is
+    treated the same way (hung workers), except the stalled pool is
+    abandoned without waiting for it.
     """
     total = len(task_list)
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except (NotImplementedError, OSError):
-        # No usable process support (restricted sandbox): degrade to serial.
-        for i in misses:
-            task = task_list[i]
-            result, seconds = _compute(task)
-            cache.store(task[0], task[1], result)
-            _emit(progress, i, total, task, seconds, "run")
-            ready[i] = result
-        yield from (ready.pop(i) for i in range(total))
-        return
+    outstanding = sorted(misses)
+    attempts = dict.fromkeys(outstanding, 0)
     next_index = 0
-    with pool:
-        futures = {pool.submit(_compute, task_list[i]): i for i in misses}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                i = futures[future]
-                result, seconds = future.result()
-                task = task_list[i]
-                cache.store(task[0], task[1], result)
-                _emit(progress, i, total, task, seconds, "run")
-                ready[i] = result
-            while next_index < total and next_index in ready:
-                yield ready.pop(next_index)
-                next_index += 1
+    pool = _new_pool(workers)
+    if pool is None:
+        # No usable process support (restricted sandbox): degrade to serial.
+        _serial_fill(task_list, outstanding, ready, progress, total)
+        outstanding = []
+    try:
+        while outstanding:
+            futures: Dict[Future, int] = {
+                pool.submit(_compute, task_list[i]): i for i in outstanding
+            }
+            pending = set(futures)
+            broken = False
+            while pending and not broken:
+                done, pending = wait(
+                    pending, timeout=task_timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    broken = True  # no-progress deadline: presume hung
+                    break
+                for future in done:
+                    i = futures[future]
+                    task = task_list[i]
+                    try:
+                        result, seconds = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        continue  # keep harvesting this batch's successes
+                    except Exception as exc:
+                        raise _task_error(progress, i, total, task, exc) from exc
+                    cache.store(task[0], task[1], result)
+                    _emit(progress, i, total, task, seconds, "run")
+                    ready[i] = result
+                while next_index < total and next_index in ready:
+                    yield ready.pop(next_index)
+                    next_index += 1
+            # Yielded indices have been popped from ``ready`` already, so
+            # "complete" means either buffered or behind the yield cursor.
+            outstanding = sorted(
+                i for i in outstanding if i >= next_index and i not in ready
+            )
+            if not outstanding:
+                break
+            worst = 0
+            for i in outstanding:
+                attempts[i] += 1
+                worst = max(worst, attempts[i])
+            if worst > task_retries:
+                over = [i for i in outstanding if attempts[i] > task_retries]
+                raise SweepWorkerError(
+                    f"worker pool kept failing: tasks {over} exceeded the "
+                    f"retry budget of {task_retries}"
+                )
+            for i in outstanding:
+                _emit(
+                    progress, i, total, task_list[i], 0.0, "retry",
+                    error=f"attempt {attempts[i] + 1} of {task_retries + 1}",
+                )
+            pool.shutdown(wait=False, cancel_futures=True)
+            time.sleep(min(_RETRY_BACKOFF * 2.0 ** (worst - 1), _RETRY_BACKOFF_CAP))
+            pool = _new_pool(workers)
+            if pool is None:
+                _serial_fill(task_list, outstanding, ready, progress, total)
+                break
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
     while next_index < total:
         yield ready.pop(next_index)
         next_index += 1
@@ -246,9 +437,14 @@ def run_many(
     tasks: Iterable[RunTask],
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: Optional[int] = None,
 ) -> List[ScenarioResult]:
     """Materialized form of :func:`iter_run_results` (task-ordered list)."""
-    return list(iter_run_results(tasks, jobs=jobs, progress=progress))
+    return list(iter_run_results(
+        tasks, jobs=jobs, progress=progress,
+        task_timeout=task_timeout, task_retries=task_retries,
+    ))
 
 
 def replicate_many(
@@ -314,6 +510,8 @@ class ProgressTracker:
         self.computed = 0
         self.memo_hits = 0
         self.disk_hits = 0
+        self.failures = 0
+        self.retries = 0
         self.run_seconds = 0.0
         self._started = time.perf_counter()
 
@@ -323,25 +521,33 @@ class ProgressTracker:
             self.run_seconds += event.seconds
         elif event.source == "memo":
             self.memo_hits += 1
-        else:
+        elif event.source == "disk":
             self.disk_hits += 1
+        elif event.source == "failed":
+            self.failures += 1
+        elif event.source == "retry":
+            self.retries += 1
         if self.stream is not None:
+            detail = f"{event.controller} seed {event.seed}"
+            if event.error:
+                detail = f"{detail}: {event.error}"
             line = format_progress(
-                event.index, event.total,
-                f"{event.controller} seed {event.seed}",
-                event.seconds, event.source,
+                event.index, event.total, detail, event.seconds, event.source,
             )
             print(line, file=self.stream, flush=True)
 
     def summary(self) -> str:
         """One-line totals for everything observed since construction."""
-        return format_sweep_summary(
+        line = format_sweep_summary(
             computed=self.computed,
             memo_hits=self.memo_hits,
             disk_hits=self.disk_hits,
             run_seconds=self.run_seconds,
             elapsed_seconds=time.perf_counter() - self._started,
         )
+        if self.retries or self.failures:
+            line += f" ({self.retries} retries, {self.failures} failures)"
+        return line
 
 
 def stderr_tracker() -> ProgressTracker:

@@ -84,14 +84,17 @@ def format_progress(
     """One per-run progress line of a sweep.
 
     ``index`` is 0-based (rendered 1-based); ``source`` is ``"run"``,
-    ``"memo"`` or ``"disk"``; ``seconds`` is the measured compute time (0
-    for cache hits, whose line shows the tier instead of a duration).
+    ``"memo"``/``"disk"`` (cache hit), or ``"failed"``/``"retry"`` (sweep
+    fault events); ``seconds`` is the measured compute time (0 for
+    everything but ``"run"``, whose line shows a duration).
     """
     width = len(str(total))
     prefix = f"[{index + 1:>{width}}/{total}]"
     if source == "run":
         return f"{prefix} {label}  {seconds:.2f}s"
-    return f"{prefix} {label}  ({source} hit)"
+    if source in ("memo", "disk"):
+        return f"{prefix} {label}  ({source} hit)"
+    return f"{prefix} {label}  ({source})"
 
 
 def format_sweep_summary(

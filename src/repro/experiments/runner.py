@@ -22,6 +22,7 @@ from repro.core.controller import (
 )
 from repro.core.design import EndpointDesign
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig, install_faults
 from repro.mbac.measured_sum import MeasuredSumController
 from repro.net.queues import DropTailFifo
 from repro.net.topology import Network, parking_lot, single_link
@@ -76,6 +77,9 @@ class ScenarioConfig:
     backbone_links: int = 3
     prefill: bool = True
     prefill_fraction: float = 0.75
+    #: Optional deterministic fault-injection plan (repro.faults); the
+    #: frozen FaultConfig nests cleanly in cache keys and task pickles.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration <= self.warmup:
@@ -118,6 +122,13 @@ class ScenarioResult:
     probe_utilization: float = 0.0
     events: int = 0
     sim_seconds: float = 0.0
+    #: Flows that gave up without a verdict (probe deadline past the retry
+    #: budget, or renege) — a subset of the blocked count.
+    timed_out: int = 0
+    #: Total re-probe attempts across all measured flows.
+    probe_retries: int = 0
+    #: Fault-schedule events applied during the run (0 without faults).
+    fault_events: int = 0
 
     @property
     def blocked(self) -> int:
@@ -220,6 +231,12 @@ def run_scenario(
             backbone_links=config.backbone_links,
         )
 
+    fault_schedule = None
+    if config.faults is not None and config.faults.any_enabled:
+        fault_schedule = install_faults(
+            sim, streams, config.faults, congested, config.duration
+        )
+
     controller = build_controller(sim, network, streams, design)
     classes = config.resolve_classes()
     generator = FlowGenerator(
@@ -268,6 +285,9 @@ def run_scenario(
         probe_utilization=probe_util,
         events=sim.events_processed,
         sim_seconds=now,
+        timed_out=totals.timed_out,
+        probe_retries=totals.retries,
+        fault_events=fault_schedule.applied if fault_schedule is not None else 0,
     )
 
 

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for simulations (DESIGN.md §10).
+
+Public surface: a frozen :class:`FaultConfig` describing link flaps,
+capacity degradation, and Gilbert–Elliott loss episodes; the
+pre-generated :class:`FaultSchedule` that applies them to live ports;
+and :func:`install_faults`, the one call the experiment runner makes.
+"""
+
+from repro.faults.model import FaultConfig, FaultEvent, GilbertElliottModel
+from repro.faults.schedule import FaultSchedule, install_faults
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "GilbertElliottModel",
+    "FaultSchedule",
+    "install_faults",
+]

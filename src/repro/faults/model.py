@@ -1,0 +1,174 @@
+"""Fault taxonomy: configuration records and the bursty-loss process.
+
+Three fault families stress the endpoint admission control loop in
+distinct ways (DESIGN.md §10):
+
+* **link flaps** — the port goes down and silently blackholes traffic:
+  no drops are observed by anyone, so probing endpoints see *no feedback
+  at all* and must rely on their own deadlines;
+* **capacity degradation** — the port temporarily serializes at a
+  fraction of its nominal rate, inflating queueing and observed loss the
+  way a rerouted or rate-limited link would;
+* **Gilbert–Elliott loss episodes** — a two-state Markov chain drops
+  packets in bursts on the wire, the classic model for correlated loss;
+  these losses *are* observed (receiver-side accounting counts them), so
+  they inflate the measured congestion fraction and drive false rejects
+  — and, after the episode ends, stale admissions.
+
+:class:`FaultConfig` is a frozen, hashable dataclass so it can ride
+inside a :class:`~repro.experiments.runner.ScenarioConfig` and flow
+through the result cache's canonical serialization unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan for one scenario.
+
+    Every episode family is parameterized by a mean spacing (``*_every``,
+    exponential gaps; ``0.0`` disables the family) and a mean duration
+    (exponential).  All draws come from dedicated RNG streams (DESIGN.md
+    §8), so enabling faults never perturbs arrival/lifetime/source
+    randomness.
+
+    Attributes
+    ----------
+    flap_every, flap_downtime:
+        Mean seconds between link-down events and mean seconds per
+        outage.  A down port blackholes arrivals, queued packets, and the
+        in-flight transmission — *silently* (no drop feedback).
+    degrade_every, degrade_factor, degrade_duration:
+        Mean spacing, capacity multiplier in ``(0, 1]``, and mean length
+        of degradation episodes.  Utilization keeps being reported
+        against the *nominal* rate.
+    loss_every, loss_duration:
+        Mean spacing and mean length of Gilbert–Elliott loss episodes.
+    ge_loss_good, ge_loss_bad, ge_good_to_bad, ge_bad_to_good:
+        The Gilbert–Elliott chain: per-packet drop probability in the
+        good/bad state and per-packet transition probabilities.
+    start:
+        Fault-free head of the run (seconds); set it past the warm-up to
+        keep the measurement baseline clean.
+    target:
+        ``"bottleneck"`` injects on the first congested port only,
+        ``"all"`` on every congested port.
+    """
+
+    flap_every: float = 0.0
+    flap_downtime: float = 2.0
+    degrade_every: float = 0.0
+    degrade_factor: float = 0.5
+    degrade_duration: float = 10.0
+    loss_every: float = 0.0
+    loss_duration: float = 10.0
+    ge_loss_good: float = 0.0
+    ge_loss_bad: float = 0.5
+    ge_good_to_bad: float = 0.05
+    ge_bad_to_good: float = 0.2
+    start: float = 0.0
+    target: str = "bottleneck"
+
+    def __post_init__(self) -> None:
+        for name in ("flap_every", "degrade_every", "loss_every", "start"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {value!r}"
+                )
+        for name in ("flap_downtime", "degrade_duration", "loss_duration"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value!r}")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ConfigurationError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor!r}"
+            )
+        for name in ("ge_loss_good", "ge_loss_bad",
+                     "ge_good_to_bad", "ge_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {value!r}"
+                )
+        if self.target not in ("bottleneck", "all"):
+            raise ConfigurationError(
+                f"target must be 'bottleneck' or 'all', got {self.target!r}"
+            )
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one fault family will generate episodes."""
+        return (self.flap_every > 0 or self.degrade_every > 0
+                or self.loss_every > 0)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One point of a fault trace: apply ``action`` to ``port`` at ``time``.
+
+    Actions: ``"down"``/``"up"`` (link flap), ``"degrade"``/``"restore"``
+    (capacity), ``"loss-on"``/``"loss-off"`` (Gilbert–Elliott episode).
+    The trace is pre-generated before the simulation runs, so it is a
+    pure function of (seed, config, port names, horizon) — the byte-
+    identity tests serialize it directly.
+    """
+
+    time: float
+    port: str
+    action: str
+
+
+class GilbertElliottModel:
+    """Per-port two-state bursty-loss process, gated by episode events.
+
+    While inactive, :meth:`should_drop` returns False without drawing, so
+    RNG consumption — and with it the downstream packet fates — is a
+    deterministic function of the packets offered during active episodes.
+    Activation resets the chain to the good state so every episode is
+    identically distributed.
+    """
+
+    __slots__ = ("rng", "loss_good", "loss_bad", "good_to_bad",
+                 "bad_to_good", "active", "bad")
+
+    def __init__(self, config: FaultConfig, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.loss_good = config.ge_loss_good
+        self.loss_bad = config.ge_loss_bad
+        self.good_to_bad = config.ge_good_to_bad
+        self.bad_to_good = config.ge_bad_to_good
+        self.active = False
+        self.bad = False
+
+    def activate(self) -> None:
+        """Start an episode (chain reset to the good state)."""
+        self.active = True
+        self.bad = False
+
+    def deactivate(self) -> None:
+        """End the episode; subsequent packets pass untouched."""
+        self.active = False
+
+    def should_drop(self) -> bool:
+        """Per-packet fate: advance the chain, then draw the state's loss."""
+        if not self.active:
+            return False
+        rng = self.rng
+        if self.bad:
+            if rng.random() < self.bad_to_good:
+                self.bad = False
+        else:
+            if rng.random() < self.good_to_bad:
+                self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        if loss <= 0.0:
+            return False
+        return bool(rng.random() < loss)

@@ -1,0 +1,168 @@
+"""Deterministic fault schedules: pre-generated episodes, timed injection.
+
+A :class:`FaultSchedule` is built *before* the simulation runs: every
+episode (flap, degradation, loss burst) is drawn up front from the
+dedicated ``"faults"`` RNG stream, producing an explicit, serializable
+trace of :class:`~repro.faults.model.FaultEvent` records.  Installation
+then just schedules one engine event per trace entry.  Two consequences:
+
+* the trace is a pure function of ``(seed, config, port names,
+  horizon)`` — tests assert byte-identity of ``trace_json()`` across
+  runs and across ``--jobs`` settings;
+* the only randomness consumed during the run itself is the per-port
+  Gilbert–Elliott chain (streams ``"faults/loss/<port>"``), whose draw
+  sequence is fixed by the deterministic packet arrival order.
+
+Scenarios opt in via ``ScenarioConfig(faults=FaultConfig(...))``; the
+experiment runner calls :func:`install_faults`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.model import FaultConfig, FaultEvent, GilbertElliottModel
+from repro.net.link import OutputPort
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+#: (start-action, end-action) per fault family, in generation order.
+_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("flap", "down", "up"),
+    ("degrade", "degrade", "restore"),
+    ("loss", "loss-on", "loss-off"),
+)
+
+
+class FaultSchedule:
+    """Pre-generated fault episodes for a set of ports.
+
+    Parameters
+    ----------
+    config:
+        The fault plan.
+    streams:
+        The run's :class:`~repro.sim.rng.RandomStreams`; episode timing
+        draws from ``streams.get("faults")``, per-port loss chains from
+        ``streams.get("faults/loss/<port>")``.
+    horizon:
+        Simulation end time; no episode *starts* at or beyond it (a
+        closing event may land past it, where it never fires).
+    port_names:
+        Names of the ports faults apply to, in a deterministic order.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        streams: RandomStreams,
+        horizon: float,
+        port_names: Sequence[str],
+    ) -> None:
+        self.config = config
+        self._streams = streams
+        self.horizon = horizon
+        self.port_names = tuple(port_names)
+        self.applied = 0
+        self.events = self._generate()
+
+    # -- trace generation -------------------------------------------------
+
+    def _generate(self) -> Tuple[FaultEvent, ...]:
+        config = self.config
+        rng = self._streams.get("faults")
+        events: List[FaultEvent] = []
+        for name in self.port_names:
+            for family, on_action, off_action in _FAMILIES:
+                every = getattr(config, f"{family}_every")
+                if every <= 0:
+                    continue
+                duration_mean = (config.flap_downtime if family == "flap"
+                                 else getattr(config, f"{family}_duration"))
+                t = config.start + float(rng.exponential(every))
+                while t < self.horizon:
+                    length = float(rng.exponential(duration_mean))
+                    events.append(FaultEvent(t, name, on_action))
+                    events.append(FaultEvent(t + length, name, off_action))
+                    t = t + length + float(rng.exponential(every))
+        events.sort(key=lambda e: e.time)
+        return tuple(events)
+
+    # -- installation -----------------------------------------------------
+
+    def install(self, sim: Simulator, ports: Sequence[OutputPort]) -> None:
+        """Schedule every trace event against the matching live port.
+
+        ``ports`` must cover every name in :attr:`port_names`; per-port
+        Gilbert–Elliott chains are created here (and attached as the
+        port's ``loss_model``) only when the loss family is enabled.
+        """
+        by_name: Dict[str, OutputPort] = {port.name: port for port in ports}
+        models: Dict[str, GilbertElliottModel] = {}
+        if self.config.loss_every > 0:
+            for name in self.port_names:
+                model = GilbertElliottModel(
+                    self.config, self._streams.get(f"faults/loss/{name}")
+                )
+                models[name] = model
+                by_name[name].loss_model = model
+        for event in self.events:
+            sim.schedule_at(event.time, self._apply, event,
+                            by_name[event.port], models.get(event.port))
+
+    def _apply(
+        self,
+        event: FaultEvent,
+        port: OutputPort,
+        model: Optional[GilbertElliottModel],
+    ) -> None:
+        action = event.action
+        if action == "down":
+            port.set_enabled(False)
+        elif action == "up":
+            port.set_enabled(True)
+        elif action == "degrade":
+            port.set_capacity_factor(self.config.degrade_factor)
+        elif action == "restore":
+            port.set_capacity_factor(1.0)
+        elif action == "loss-on":
+            assert model is not None
+            model.activate()
+        else:  # "loss-off"
+            assert model is not None
+            model.deactivate()
+        self.applied += 1
+
+    # -- trace access -----------------------------------------------------
+
+    def trace(self) -> Tuple[FaultEvent, ...]:
+        """The full pre-generated event sequence, time-ordered."""
+        return self.events
+
+    def trace_json(self) -> str:
+        """Canonical JSON of the trace, for byte-identity assertions."""
+        return json.dumps(
+            [[event.time, event.port, event.action] for event in self.events],
+            separators=(",", ":"),
+        )
+
+
+def install_faults(
+    sim: Simulator,
+    streams: RandomStreams,
+    config: FaultConfig,
+    ports: Sequence[OutputPort],
+    horizon: float,
+) -> FaultSchedule:
+    """Build a schedule over ``ports`` (honoring ``config.target``) and install it.
+
+    ``"bottleneck"`` targets only the first port — by convention the
+    upstream-most congested link; ``"all"`` targets every port given.
+    """
+    selected = list(ports[:1]) if config.target == "bottleneck" else list(ports)
+    schedule = FaultSchedule(
+        config, streams, horizon, [port.name for port in selected]
+    )
+    schedule.install(sim, selected)
+    return schedule

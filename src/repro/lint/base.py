@@ -118,12 +118,17 @@ class Checker(ast.NodeVisitor):
     exempt_path_parts:
         Path substrings (posix separators) where the rule does not apply,
         e.g. ``("benchmarks/",)`` for wall-clock rules.
+    only_path_parts:
+        When non-empty, the rule *only* runs on paths containing one of
+        these substrings, e.g. ``("src/",)`` for library-only rules.
+        Exemptions still apply on top.
     """
 
     code: ClassVar[str] = ""
     message: ClassVar[str] = ""
     hint: ClassVar[str] = ""
     exempt_path_parts: ClassVar[Tuple[str, ...]] = ()
+    only_path_parts: ClassVar[Tuple[str, ...]] = ()
 
     def __init__(self, context: ModuleContext) -> None:
         self.context = context
@@ -133,6 +138,10 @@ class Checker(ast.NodeVisitor):
     def applies_to(cls, path: str) -> bool:
         """Whether this rule runs on the given (display) path at all."""
         normalized = path.replace("\\", "/")
+        if cls.only_path_parts and not any(
+            part in normalized for part in cls.only_path_parts
+        ):
+            return False
         return not any(part in normalized for part in cls.exempt_path_parts)
 
     def report(self, node: ast.AST, detail: Optional[str] = None) -> None:

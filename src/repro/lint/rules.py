@@ -465,3 +465,58 @@ class SwallowedCallbackErrorChecker(Checker):
         ):
             self.report(node, f"except {node.type.id}: pass")
         self.generic_visit(node)
+
+
+@register
+class SilentSwallowChecker(Checker):
+    """ERR002: silently swallowed broad exceptions in library code.
+
+    The complement of ERR001: that rule covers modules that schedule
+    events; this one covers the rest of ``src/`` — caches, reporting,
+    sweep orchestration — where an ``except Exception: pass`` quietly
+    converts a failure into a wrong (or missing) number.  Only *silent*
+    handlers are flagged: catching broadly to record, wrap, or re-raise
+    is legitimate; catching broadly to do nothing never is.  Handlers for
+    named narrow exceptions (``except OSError: pass``) are left to review.
+
+    Scoped to ``src/`` so tests remain free to assert "this must not
+    raise" however they like.
+    """
+
+    code = "ERR002"
+    message = "broad exception handler silently swallows failures"
+    hint = (
+        "catch the narrowest expected exception, or record/re-raise "
+        "what was caught; suppress with '# noqa: ERR002' only where "
+        "dropping the error is the documented contract"
+    )
+    only_path_parts = ("src/",)
+
+    def run(self) -> List:
+        if self.context.schedules_events:
+            return self.findings  # ERR001's territory
+        return super().run()
+
+    @staticmethod
+    def _is_broad(node_type: Optional[ast.expr]) -> Optional[str]:
+        if node_type is None:
+            return "bare except:"
+        if isinstance(node_type, ast.Name) and node_type.id in (
+            "Exception", "BaseException",
+        ):
+            return f"except {node_type.id}:"
+        if isinstance(node_type, ast.Tuple):
+            for element in node_type.elts:
+                if isinstance(element, ast.Name) and element.id in (
+                    "Exception", "BaseException",
+                ):
+                    return f"except (..., {element.id}, ...):"
+        return None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        reason = self._is_broad(node.type)
+        if reason is not None and SwallowedCallbackErrorChecker._is_silent_body(
+            node.body
+        ):
+            self.report(node, reason)
+        self.generic_visit(node)

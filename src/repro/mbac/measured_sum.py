@@ -30,6 +30,7 @@ from repro.net.packet import FlowAccounting
 from repro.net.topology import Network
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.traffic.flowgen import FlowRequest
 
 
 class MeasuredSumController(ControllerBase):
@@ -73,7 +74,7 @@ class MeasuredSumController(ControllerBase):
             self._estimators[port] = est
         return est
 
-    def handle(self, request) -> None:
+    def handle(self, request: FlowRequest) -> None:
         route = self.network.route(request.cls.src, request.cls.dst)
         rate = request.spec.token_rate_bps
         estimators: List[TimeWindowEstimator] = [self._estimator(p) for p in route]

@@ -12,13 +12,26 @@ exactly that.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.errors import ConfigurationError
 from repro.net.packet import BEST_EFFORT, DATA, PROBE, Packet
 from repro.net.queues import QueueDiscipline
 from repro.sim.engine import Simulator
 from repro.units import BITS_PER_BYTE
+
+
+class LossModel(Protocol):
+    """Per-packet wire-loss process (see :mod:`repro.faults.model`).
+
+    Structural interface only, so :mod:`repro.net` never imports the
+    faults package: anything with a ``should_drop()`` can be attached to
+    a port's :attr:`OutputPort.loss_model`.
+    """
+
+    def should_drop(self) -> bool:
+        """Decide the fate of one arriving packet."""
+        ...
 
 
 class PortStats:
@@ -75,7 +88,8 @@ class OutputPort:
     """
 
     __slots__ = ("sim", "rate_bps", "qdisc", "prop_delay", "name", "busy",
-                 "stats", "_tx_per_byte")
+                 "stats", "_tx_per_byte", "enabled", "capacity_factor",
+                 "loss_model", "fault_drops")
 
     def __init__(
         self,
@@ -100,11 +114,30 @@ class OutputPort:
         self.stats = PortStats()
         # Seconds to serialize one byte; multiplied per packet in the hot path.
         self._tx_per_byte = BITS_PER_BYTE / rate_bps
+        # Fault-injection state (repro.faults): a disabled port blackholes
+        # traffic, a capacity factor < 1 slows serialization, and an
+        # attached loss model drops arrivals on the wire.
+        self.enabled = True
+        self.capacity_factor = 1.0
+        self.loss_model: Optional[LossModel] = None
+        self.fault_drops = 0
 
     # -- datapath ---------------------------------------------------------
 
     def send(self, pkt: Packet) -> None:
         """Offer a packet to this port (called by sources and upstream ports)."""
+        if not self.enabled:
+            # Down link: the packet vanishes with no feedback to anyone.
+            self.fault_drops += 1
+            pkt.flow.note_lost()
+            return
+        model = self.loss_model
+        if model is not None and model.should_drop():
+            # Wire loss during a bursty-loss episode: observable (the
+            # receiver-side accounting infers it), unlike a blackhole.
+            self.fault_drops += 1
+            pkt.flow.note_dropped()
+            return
         stats = self.stats
         kind = pkt.kind
         if kind == DATA:
@@ -128,6 +161,13 @@ class OutputPort:
         self.sim.call(pkt.size * self._tx_per_byte, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
+        if not self.enabled:
+            # The port went down mid-serialization: the packet is lost and
+            # the transmitter idles until set_enabled(True) restarts it.
+            self.fault_drops += 1
+            pkt.flow.note_lost()
+            self.busy = False
+            return
         stats = self.stats
         kind = pkt.kind
         if kind == DATA:
@@ -145,6 +185,46 @@ class OutputPort:
         else:
             self._arrive(pkt)
         self._start_next()
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Bring the port down (blackholing) or back up.
+
+        Going down flushes the queue — every buffered packet is counted
+        as silently lost — and dooms the in-flight transmission (handled
+        at :meth:`_tx_done`).  Coming back up restarts the transmitter if
+        it is idle.  A packet whose serialization happens to span a
+        down/up cycle shorter than its own transmission time survives;
+        sub-packet outages are below this model's resolution.
+        """
+        if enabled == self.enabled:
+            return
+        self.enabled = enabled
+        if not enabled:
+            pkt = self.qdisc.dequeue()
+            while pkt is not None:
+                self.fault_drops += 1
+                pkt.flow.note_lost()
+                pkt = self.qdisc.dequeue()
+        elif not self.busy:
+            self._start_next()
+
+    def set_capacity_factor(self, factor: float) -> None:
+        """Temporarily scale the serialization rate (degradation episode).
+
+        ``rate_bps`` keeps its nominal value: utilization and virtual
+        queues stay defined against the provisioned capacity, which is
+        how an operator would account a degraded link.  Only future
+        packet transmissions see the new rate; the in-flight packet's
+        completion is already scheduled.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"capacity factor must be in (0, 1], got {factor!r}"
+            )
+        self.capacity_factor = factor
+        self._tx_per_byte = BITS_PER_BYTE / (self.rate_bps * factor)
 
     def _arrive(self, pkt: Packet) -> None:
         pkt.hop += 1

@@ -48,6 +48,11 @@ class FlowAccounting:
     sent, delivered, dropped, marked:
         Packet counts.  ``marked`` counts delivered packets that carried an
         ECN mark.
+    lost:
+        Packets blackholed by a failed link — *silent* loss that produces
+        no feedback of any kind (unlike ``dropped``, which models losses
+        the receiver-side accounting can observe).  Probing endpoints
+        cannot see this counter; their probe deadline is the only defense.
     drop_hook:
         Optional callable invoked (with no arguments) each time one of this
         flow's packets is dropped — used for the paper's probe early-abort.
@@ -55,7 +60,7 @@ class FlowAccounting:
         Same, for ECN marks observed at enqueue time.
     """
 
-    __slots__ = ("flow_id", "sent", "delivered", "dropped", "marked",
+    __slots__ = ("flow_id", "sent", "delivered", "dropped", "marked", "lost",
                  "bytes_sent", "bytes_delivered", "drop_hook", "mark_hook")
 
     def __init__(self, flow_id: int = -1) -> None:
@@ -64,10 +69,24 @@ class FlowAccounting:
         self.delivered = 0
         self.dropped = 0
         self.marked = 0
+        self.lost = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.drop_hook: Optional[Callable[[], None]] = None
         self.mark_hook: Optional[Callable[[], None]] = None
+
+    # -- counter updates --------------------------------------------------
+
+    def note_dropped(self) -> None:
+        """Record one observable drop and fire the drop hook (if any)."""
+        self.dropped += 1
+        hook = self.drop_hook
+        if hook is not None:
+            hook()
+
+    def note_lost(self) -> None:
+        """Record one silent blackhole loss; deliberately hook-free."""
+        self.lost += 1
 
     # -- derived fractions ------------------------------------------------
 
@@ -97,6 +116,7 @@ class FlowAccounting:
             "delivered": self.delivered,
             "dropped": self.dropped,
             "marked": self.marked,
+            "lost": self.lost,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
         }

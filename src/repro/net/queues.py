@@ -56,11 +56,7 @@ class QueueDiscipline(Protocol):
 
 def _drop(pkt: Packet) -> None:
     """Record a drop on the packet's flow accounting and fire its hook."""
-    flow = pkt.flow
-    flow.dropped += 1
-    hook = flow.drop_hook
-    if hook is not None:
-        hook()
+    pkt.flow.note_dropped()
 
 
 def _mark(pkt: Packet) -> None:

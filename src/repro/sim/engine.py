@@ -49,6 +49,29 @@ _TIME, _SEQ, _FN, _ARGS, _ALIVE = 0, 1, 2, 3, 4
 #: compacting the heap (avoids rebuilding tiny calendars).
 _COMPACT_MIN = 512
 
+#: Process-wide default for ``Simulator(strict=None)``; see
+#: :func:`set_strict_default`.
+_strict_default = False
+
+
+def set_strict_default(enabled: bool) -> bool:
+    """Set the process-wide default strictness; returns the previous value.
+
+    Simulators constructed without an explicit ``strict=`` argument pick
+    this up.  The test suite turns it on (every simulator built by a test
+    gets the dynamic validations for free); production sweeps leave it
+    off, so the hot path stays unchecked.
+    """
+    global _strict_default
+    previous = _strict_default
+    _strict_default = bool(enabled)
+    return previous
+
+
+def strict_default() -> bool:
+    """The current process-wide default strictness."""
+    return _strict_default
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event.
@@ -98,15 +121,17 @@ class Simulator:
         post-push mutation of event records), event times are re-checked
         finite at dispatch, and the heap is compacted when cancelled
         garbage outnumbers live events.  Costs a few percent of event
-        throughput; leave off for production sweeps.
+        throughput; leave off for production sweeps.  ``None`` (the
+        default) defers to the process-wide :func:`set_strict_default`
+        setting — off unless something (e.g. the test suite) turned it on.
     """
 
     __slots__ = ("now", "strict", "_heap", "_seq", "_stopped",
                  "_events_processed", "_cancelled", "_compactions")
 
-    def __init__(self, strict: bool = False) -> None:
+    def __init__(self, strict: Optional[bool] = None) -> None:
         self.now: float = 0.0
-        self.strict: bool = strict
+        self.strict: bool = _strict_default if strict is None else strict
         self._heap: List[List[Any]] = []
         self._seq: int = 0
         self._stopped: bool = False

@@ -1,6 +1,17 @@
 """Measurement helpers: time series and replication summaries."""
 
 from repro.stats.series import PeriodicSampler
-from repro.stats.summary import RunningStats, summarize
+from repro.stats.summary import (
+    DecisionRecord,
+    RunningStats,
+    decision_counts,
+    summarize,
+)
 
-__all__ = ["PeriodicSampler", "RunningStats", "summarize"]
+__all__ = [
+    "DecisionRecord",
+    "PeriodicSampler",
+    "RunningStats",
+    "decision_counts",
+    "summarize",
+]

@@ -39,7 +39,7 @@ class PeriodicSampler:
 
     def deltas(self) -> List[float]:
         """Per-interval differences (for cumulative counters)."""
-        out = []
+        out: List[float] = []
         prev = 0.0
         for value in self.values:
             out.append(value - prev)

@@ -8,7 +8,7 @@ confidence half-width for reporting.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -53,7 +53,7 @@ class RunningStats:
         return z * self.stddev / math.sqrt(self.n)
 
 
-def summarize(values: Sequence[float]) -> dict:
+def summarize(values: Sequence[float]) -> Dict[str, float]:
     """Mean, stddev and 95% CI half-width of a sample."""
     if not values:
         raise ConfigurationError("cannot summarize an empty sample")
@@ -65,3 +65,40 @@ def summarize(values: Sequence[float]) -> dict:
         "stddev": stats.stddev,
         "ci95": stats.confidence_halfwidth(),
     }
+
+
+class DecisionRecord(Protocol):
+    """The decision-relevant face of a flow outcome.
+
+    Structural, so stats never imports :mod:`repro.core` —
+    :class:`~repro.core.endpoint.FlowOutcome` satisfies it as-is.
+    """
+
+    admitted: bool
+    timed_out: bool
+    retries: int
+
+
+def decision_counts(outcomes: Iterable[DecisionRecord]) -> Dict[str, int]:
+    """Admit/reject/timeout/retry tallies over a set of flow outcomes.
+
+    ``timed_out`` flows are a subset of ``rejected``: a flow that gave up
+    (probe deadline past the retry budget, or renege) counts as blocked,
+    but the split shows how much blocking is congestion rejection versus
+    fault-induced abandonment.  ``retries`` sums re-probe attempts across
+    all flows, including ones eventually admitted.
+    """
+    counts = {
+        "offered": 0, "admitted": 0, "rejected": 0,
+        "timed_out": 0, "retries": 0,
+    }
+    for outcome in outcomes:
+        counts["offered"] += 1
+        if outcome.admitted:
+            counts["admitted"] += 1
+        else:
+            counts["rejected"] += 1
+        if outcome.timed_out:
+            counts["timed_out"] += 1
+        counts["retries"] += outcome.retries
+    return counts

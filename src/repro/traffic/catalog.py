@@ -92,6 +92,7 @@ class SourceSpec:
                 self.mean_off, self.packet_bytes, rng, kind=kind, prio=prio,
             )
         if self.kind == KIND_PARETO_ONOFF:
+            assert self.shape is not None  # __post_init__ guarantees it
             return ParetoOnOffSource(
                 sim, route, sink, flow, self.token_rate_bps, self.mean_on,
                 self.mean_off, self.packet_bytes, rng, kind=kind, prio=prio,

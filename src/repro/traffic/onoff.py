@@ -135,8 +135,25 @@ class ParetoOnOffSource(OnOffSource):
     long-range-dependent aggregate traffic (the paper uses alpha = 1.2).
     """
 
-    def __init__(self, *args, shape: float = 1.2, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        sim: Simulator,
+        route: List[OutputPort],
+        sink: Receiver,
+        flow: FlowAccounting,
+        burst_rate_bps: float,
+        mean_on: float,
+        mean_off: float,
+        packet_bytes: int,
+        rng: np.random.Generator,
+        kind: int = DATA,
+        prio: int = PRIO_DATA,
+        shape: float = 1.2,
+    ) -> None:
+        super().__init__(
+            sim, route, sink, flow, burst_rate_bps, mean_on, mean_off,
+            packet_bytes, rng, kind, prio,
+        )
         if shape <= 1.0:
             raise ConfigurationError(
                 f"Pareto shape must exceed 1 for a finite mean, got {shape!r}"

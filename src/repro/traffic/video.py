@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.net.link import OutputPort
@@ -78,7 +79,9 @@ class VideoTraceModel:
         # gamma with mean 1.  So base absorbs only the GOP multiplier.
         self.base_frame_bytes = mean_frame_bytes / _MEAN_MULTIPLIER
 
-    def generate_frames(self, rng: np.random.Generator, n_frames: int) -> np.ndarray:
+    def generate_frames(
+        self, rng: np.random.Generator, n_frames: int
+    ) -> npt.NDArray[np.float64]:
         """Return ``n_frames`` frame sizes in bytes (unshaped)."""
         if n_frames <= 0:
             raise ConfigurationError(f"need n_frames > 0, got {n_frames!r}")

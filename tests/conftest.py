@@ -8,8 +8,22 @@ from repro.net.link import OutputPort
 from repro.net.packet import DATA, FlowAccounting, Packet
 from repro.net.queues import DropTailFifo
 from repro.net.sink import Sink
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, set_strict_default
 from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _strict_simulators_by_default():
+    """Every ``Simulator()`` built under pytest gets strict mode.
+
+    Tests are exactly where the dynamic validations (monotone clock,
+    finite dispatch times, heap compaction) should be armed; production
+    sweeps keep the unchecked hot path.  Tests of the non-strict behavior
+    itself must construct ``Simulator(strict=False)`` explicitly.
+    """
+    previous = set_strict_default(True)
+    yield
+    set_strict_default(previous)
 
 
 @pytest.fixture(autouse=True)
@@ -30,6 +44,8 @@ def _isolate_sweep_state(tmp_path, monkeypatch):
     cache.set_cache_dir(None)
     parallel.set_jobs(None)
     parallel.set_progress(None)
+    parallel.set_task_timeout(None)
+    parallel.set_task_hook(None)
 
 
 @pytest.fixture

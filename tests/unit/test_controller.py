@@ -47,9 +47,9 @@ class TestClassStats:
     def test_add_counters_with_baseline(self):
         stats = ClassStats()
         counters = dict(sent=100, delivered=90, dropped=10, marked=0,
-                        bytes_sent=12500, bytes_delivered=11250)
+                        lost=0, bytes_sent=12500, bytes_delivered=11250)
         baseline = dict(sent=40, delivered=38, dropped=2, marked=0,
-                        bytes_sent=5000, bytes_delivered=4750)
+                        lost=0, bytes_sent=5000, bytes_delivered=4750)
         stats.add_counters(counters, baseline)
         assert stats.sent == 60
         assert stats.dropped == 8

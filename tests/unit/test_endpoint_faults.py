@@ -1,0 +1,194 @@
+"""Endpoint graceful degradation: probe deadlines, re-probe, renege.
+
+The paper's probing loop implicitly assumes a live network — a probe
+stream always produces *some* feedback (deliveries, drops, or marks).
+A blackholed link violates that assumption, so these tests pin the
+resilience contract: an agent probing into a dead link times out, retries
+within its budget with exponential backoff, reports ``timed_out`` and
+``retries`` in its outcome, and never hangs past the renege deadline.
+"""
+
+import pytest
+
+from repro.core.controller import EndpointAdmissionControl
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.errors import ConfigurationError
+from repro.net.topology import single_link
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.catalog import get_source_spec
+from repro.traffic.flowgen import FlowClass, FlowRequest
+from repro.units import mbps
+
+BASE = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                      ProbingScheme.SIMPLE, probe_duration=1.0)
+
+
+def setup(design, link_rate=mbps(10)):
+    sim = Simulator()
+    streams = RandomStreams(1)
+    network, port = single_link(
+        sim, link_rate, design.qdisc_factory(link_rate), 0.020
+    )
+    controller = EndpointAdmissionControl(sim, network, design, streams)
+    return sim, port, controller
+
+
+def offer(controller, lifetime=60.0):
+    spec = get_source_spec("EXP1")
+    cls = FlowClass(label="EXP1", spec=spec, epsilon=None)
+    request = FlowRequest(flow_id=1, cls=cls, arrival_time=0.0,
+                          lifetime=lifetime)
+    controller.handle(request)
+    return request
+
+
+class TestProbeDeadline:
+    def test_blackholed_probe_times_out_and_exhausts_retries(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=2,
+                                      retry_backoff=0.25)
+        sim, port, controller = setup(design)
+        port.set_enabled(False)
+        offer(controller)
+        sim.run()                      # must drain: no hang, ever
+        outcome = controller.outcomes[0]
+        assert outcome.timed_out
+        assert not outcome.admitted
+        assert outcome.retries == 2
+        assert outcome.data is None
+        # attempt 0 dies at 0.5; +0.25 backoff, dies at 1.25; +0.5, dies
+        # at 2.25 with the budget spent.
+        assert outcome.end_time == pytest.approx(2.25, abs=1e-6)
+
+    def test_probe_packets_were_sent_but_unanswered(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=0)
+        sim, port, controller = setup(design)
+        port.set_enabled(False)
+        offer(controller)
+        sim.run()
+        outcome = controller.outcomes[0]
+        assert outcome.timed_out
+        assert outcome.probe["sent"] > 0
+        assert outcome.probe["delivered"] == 0
+        assert outcome.probe["dropped"] == 0   # blackhole: silent loss
+
+    def test_without_deadline_interval_schemes_survive_on_feedback(self):
+        # The control: the paper's implicit probe_timeout=None setting.
+        # On a *healthy* link the deadline machinery must never trigger.
+        sim, port, controller = setup(BASE)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.admitted
+        assert not outcome.timed_out
+        assert outcome.retries == 0
+
+    def test_deadline_does_not_fire_while_feedback_flows(self):
+        # Deadline armed, link healthy: feedback keeps the watchdog quiet
+        # and the decision lands at the normal probe-plus-settle time.
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=2,
+                                      retry_backoff=0.25)
+        sim, port, controller = setup(design)
+        offer(controller)
+        sim.run(until=20.0)
+        outcome = controller.outcomes[0]
+        assert outcome.admitted
+        assert outcome.retries == 0
+        assert outcome.decision_time == pytest.approx(1.1, abs=0.05)
+
+
+class TestRetryRecovery:
+    def test_flow_admitted_after_link_recovers(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=3,
+                                      retry_backoff=0.25)
+        sim, port, controller = setup(design)
+        port.set_enabled(False)
+        sim.schedule_at(1.0, port.set_enabled, True)
+        offer(controller)
+        sim.run(until=30.0)
+        outcome = controller.outcomes[0]
+        # Attempt 0 dies at 0.5; attempt 1 starts at 0.75, sees delivered
+        # probes once the link returns at 1.0, and completes normally.
+        assert outcome.admitted
+        assert outcome.retries == 1
+        assert not outcome.timed_out
+
+    def test_retry_counts_reach_class_stats(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=1,
+                                      retry_backoff=0.25)
+        sim, port, controller = setup(design)
+        controller.begin_measurement()   # decisions tally inside the window
+        port.set_enabled(False)
+        offer(controller)
+        sim.run()
+        stats = controller.class_stats()["EXP1"]
+        assert stats.offered == 1
+        assert stats.admitted == 0
+        assert stats.timed_out == 1
+        assert stats.retries == 1
+
+
+class TestRenege:
+    def test_renege_bounds_total_wait(self):
+        # Generous retry budget, but the user walks away at 2 s.
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=50,
+                                      retry_backoff=0.25, renege_time=2.0)
+        sim, port, controller = setup(design)
+        port.set_enabled(False)
+        offer(controller)
+        sim.run()
+        outcome = controller.outcomes[0]
+        assert outcome.timed_out
+        assert not outcome.admitted
+        assert outcome.end_time == pytest.approx(2.0, abs=1e-6)
+
+    def test_renege_during_backoff_wait_is_safe(self):
+        # The renege deadline lands inside the backoff gap, where no
+        # probe source is live; the pending retry must become a no-op.
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=5,
+                                      retry_backoff=5.0, renege_time=1.0)
+        sim, port, controller = setup(design)
+        port.set_enabled(False)
+        offer(controller)
+        sim.run()                      # drains even with the stale retry event
+        outcome = controller.outcomes[0]
+        assert outcome.timed_out
+        assert outcome.end_time == pytest.approx(1.0, abs=1e-6)
+        assert outcome.retries == 1
+
+    def test_renege_never_fires_on_healthy_path(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=2,
+                                      retry_backoff=0.25, renege_time=10.0)
+        sim, port, controller = setup(design)
+        offer(controller, lifetime=5.0)
+        sim.run()
+        outcome = controller.outcomes[0]
+        assert outcome.admitted
+        assert not outcome.timed_out
+
+
+class TestResilienceValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(probe_timeout=0.0),
+        dict(probe_timeout=-1.0),
+        dict(probe_timeout=1.0, probe_retries=-1),
+        dict(probe_timeout=1.0, retry_backoff=-0.5),
+        dict(probe_timeout=1.0, renege_time=0.0),
+    ])
+    def test_bad_resilience_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BASE.with_resilience(**kwargs)
+
+    def test_with_resilience_returns_configured_copy(self):
+        design = BASE.with_resilience(probe_timeout=0.5, probe_retries=3,
+                                      retry_backoff=0.25, renege_time=30.0)
+        assert design.probe_timeout == 0.5
+        assert design.probe_retries == 3
+        assert design.retry_backoff == 0.25
+        assert design.renege_time == 30.0
+        assert BASE.probe_timeout is None  # original untouched

@@ -13,12 +13,36 @@ import math
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import _COMPACT_MIN, Simulator
+from repro.sim.engine import (
+    _COMPACT_MIN,
+    Simulator,
+    set_strict_default,
+    strict_default,
+)
 
 
 @pytest.fixture
 def strict_sim() -> Simulator:
     return Simulator(strict=True)
+
+
+# -- the process-wide strict default -----------------------------------------
+
+
+def test_strict_default_is_process_wide():
+    # The suite's conftest arms strict mode, so a bare Simulator() has it.
+    assert strict_default()
+    assert Simulator().strict
+    previous = set_strict_default(False)
+    try:
+        assert previous is True
+        assert not strict_default()
+        assert not Simulator().strict
+        # An explicit argument always beats the default, both ways.
+        assert Simulator(strict=True).strict
+    finally:
+        set_strict_default(previous)
+    assert not Simulator(strict=False).strict
 
 
 # -- non-finite times are rejected unconditionally --------------------------
@@ -88,7 +112,7 @@ def test_strict_and_default_mode_agree():
         sim.run()
         return fired
 
-    assert load(Simulator()) == load(Simulator(strict=True))
+    assert load(Simulator(strict=False)) == load(Simulator(strict=True))
 
 
 def test_strict_detects_record_mutated_to_nan(strict_sim):
@@ -108,8 +132,13 @@ def test_strict_detects_backwards_clock(strict_sim):
         strict_sim.run()
 
 
-def test_default_mode_skips_dispatch_validation(sim):
-    """Non-strict mode keeps the hot path lean: corruption goes undetected."""
+def test_default_mode_skips_dispatch_validation():
+    """Non-strict mode keeps the hot path lean: corruption goes undetected.
+
+    Explicit ``strict=False``: the suite's conftest flips the process-wide
+    default to strict, and this test is about the unchecked path.
+    """
+    sim = Simulator(strict=False)
     handle = sim.schedule(1.0, lambda: None)
     handle._record[0] = math.nan
     sim.run()  # silently wrong, by documented design: strict exists for this
@@ -132,7 +161,8 @@ def test_strict_compacts_cancelled_garbage(strict_sim):
     assert strict_sim.pending == 0
 
 
-def test_default_mode_never_compacts(sim):
+def test_default_mode_never_compacts():
+    sim = Simulator(strict=False)
     handles = [sim.schedule(10.0 + i, lambda: None) for i in range(2 * _COMPACT_MIN)]
     for handle in handles:
         handle.cancel()

@@ -34,10 +34,15 @@ DESIGN = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
 
 class TestScenarios:
     def test_table2_rows_present(self):
-        assert set(SCENARIOS) == {
+        assert set(SCENARIOS) >= {
             "basic", "high-load", "burstier", "bigger", "lrd", "video",
             "heterogeneous", "low-mux",
         }
+        # Table-2 rows carry no fault plan; fault variants all do.
+        for name, spec in SCENARIOS.items():
+            assert (spec.faults is not None) == (
+                name.endswith(("-flaky", "-lossy", "-brownout"))
+            )
 
     def test_basic_matches_table2(self):
         spec = get_scenario("basic")

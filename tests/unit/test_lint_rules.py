@@ -24,9 +24,9 @@ def codes_for(source: str, path: str = "src/repro/fake.py"):
 # -- registry ---------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert set(all_checkers()) == {
-        "DET001", "DET002", "DET003", "SIM001", "FLT001", "ERR001",
+        "DET001", "DET002", "DET003", "SIM001", "FLT001", "ERR001", "ERR002",
     }
 
 
@@ -338,6 +338,87 @@ def test_err001_silent_outside_scheduling_modules():
                 return None
     """
     assert codes_for(source) == []
+
+
+# -- ERR002: silent broad handlers in non-scheduling library code -----------
+
+
+def test_err002_except_exception_pass():
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                pass
+    """
+    assert codes_for(source) == ["ERR002"]
+
+
+def test_err002_bare_except_docstring_only():
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except:
+                "tolerate anything"
+    """
+    assert codes_for(source) == ["ERR002"]
+
+
+def test_err002_broad_member_of_tuple():
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except (OSError, Exception):
+                pass
+    """
+    assert codes_for(source) == ["ERR002"]
+
+
+def test_err002_narrow_silent_handler_is_clean():
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+    """
+    assert codes_for(source) == []
+
+
+def test_err002_broad_handler_with_real_body_is_clean():
+    source = """
+        def load(path, log):
+            try:
+                return open(path).read()
+            except Exception as exc:
+                log.append(exc)
+                raise
+    """
+    assert codes_for(source) == []
+
+
+def test_err002_defers_to_err001_in_scheduling_modules():
+    source = _SCHEDULING_PREAMBLE + """
+    def bad(sim):
+        try:
+            sim.step()
+        except Exception:
+            pass
+    """
+    assert codes_for(source) == ["ERR001"]
+
+
+def test_err002_skips_non_src_paths():
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                pass
+    """
+    assert codes_for(source, path="tests/unit/test_fake.py") == []
 
 
 # -- noqa suppression -------------------------------------------------------

@@ -233,3 +233,58 @@ class TestProgressTracker:
         assert "1 memo hits" in summary
         err = capsys.readouterr().err
         assert "[1/1]" in err and "(memo hit)" in err
+
+
+class TestDiskPartialWrites:
+    """Interrupted writes (crash mid-store) must degrade to a cache miss.
+
+    The writer is atomic (temp file + rename), but a kill can still leave
+    a zero-byte entry from a foreign tool, a truncated file from a torn
+    copy, or an orphaned ``.tmp<pid>`` from a worker that died before its
+    rename.  None of these may crash a sweep or be served as a result.
+    """
+
+    def _seed_entry(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        config = fast_config()
+        computed = cache.cached_run(config, DESIGN)
+        entry = next(Path(tmp_path).glob("*.json"))
+        cache.clear_cache(disk=False)  # memo off; force the disk path
+        return config, computed, entry
+
+    def test_zero_byte_entry_is_a_miss_and_heals(self, tmp_path):
+        config, computed, entry = self._seed_entry(tmp_path)
+        entry.write_text("")
+        assert cache.lookup(config, DESIGN) == (None, "miss")
+        assert not entry.exists()  # the unreadable file was evicted
+        assert cache.cached_run(config, DESIGN) == computed
+        assert json.loads(entry.read_text())["schema"] == cache.SCHEMA_VERSION
+
+    def test_truncated_entry_is_a_miss_and_heals(self, tmp_path):
+        config, computed, entry = self._seed_entry(tmp_path)
+        whole = entry.read_text()
+        entry.write_text(whole[: len(whole) // 2])
+        assert cache.lookup(config, DESIGN) == (None, "miss")
+        assert cache.cached_run(config, DESIGN) == computed
+
+    def test_entry_missing_result_field_is_a_miss(self, tmp_path):
+        config, computed, entry = self._seed_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        del payload["result"]
+        entry.write_text(json.dumps(payload))  # valid JSON, wrong shape
+        assert cache.lookup(config, DESIGN) == (None, "miss")
+        assert cache.cached_run(config, DESIGN) == computed
+
+    def test_orphaned_tmp_file_is_inert(self, tmp_path):
+        config, computed, entry = self._seed_entry(tmp_path)
+        orphan = entry.with_name(f"{entry.name}.tmp99999")
+        orphan.write_text("{partial write from a dead work")
+        # The orphan is neither counted nor read; the real entry serves.
+        assert cache.disk_cache_size() == 1
+        loaded, tier = cache.lookup(config, DESIGN)
+        assert tier == "disk"
+        assert loaded == computed
+        # A fresh store over the same key leaves the orphan untouched.
+        cache.store(config, DESIGN, computed)
+        assert orphan.exists()
+        assert json.loads(entry.read_text())["schema"] == cache.SCHEMA_VERSION
