@@ -11,6 +11,7 @@ from typing import List, Tuple
 
 from repro.net.link import OutputPort
 from repro.net.packet import FlowAccounting
+from repro.net.queues import QueueDiscipline
 from repro.net.sink import Sink
 from repro.sim.engine import Simulator
 from repro.traffic.cbr import ConstantRateSource
@@ -18,7 +19,7 @@ from repro.units import kbps, mbps
 
 
 def stolen_bandwidth_demo(
-    qdisc,
+    qdisc: QueueDiscipline,
     link_rate: float = mbps(1),
     large_rate: float = kbps(512),
     small_rate: float = kbps(128),

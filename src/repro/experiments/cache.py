@@ -27,6 +27,7 @@ See DESIGN.md §9 for the determinism argument and the invalidation rules.
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import json
 import os
@@ -103,22 +104,97 @@ def _canonical(value: Any) -> Any:
     return repr(value)
 
 
-def code_fingerprint() -> str:
-    """SHA-256 over every ``repro`` source file (path + contents).
+#: Module names whose import closure defines the code fingerprint: the
+#: runner executes the simulation, the scenario catalog builds the configs.
+_FINGERPRINT_ROOTS = ("repro.experiments.runner", "repro.experiments.scenarios")
 
-    Part of every disk key: any change to the package — simulator, traffic
-    models, controllers, experiment plumbing — yields new keys, so results
-    computed by old code are never served for new code.  Computed once per
-    process.
+
+def _module_path(name: str, root: Path) -> Optional[Path]:
+    """Source file for dotted module ``name`` under the ``repro`` root.
+
+    Returns ``None`` for names that are not modules (e.g. a class imported
+    via ``from repro.net.packet import Packet`` resolves ``repro.net.packet``
+    but not ``repro.net.packet.Packet``).
+    """
+    relative = Path(*name.split(".")[1:])  # drop the leading "repro"
+    candidate = root / relative.with_suffix(".py")
+    if candidate.is_file():
+        return candidate
+    candidate = root / relative / "__init__.py"
+    if candidate.is_file():
+        return candidate
+    return None
+
+
+def _module_imports(path: Path) -> set[str]:
+    """Every ``repro``-package module name imported anywhere in ``path``.
+
+    Walks the full AST, so function-local imports (used to break cycles)
+    count too.  Both statement forms are handled: ``import repro.x.y`` and
+    ``from repro.x import y`` — the latter adds ``repro.x`` *and*
+    ``repro.x.y``, since ``y`` may be a submodule rather than an attribute
+    (non-module names are discarded at resolution time).
+    """
+    names: set[str] = set()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module
+            if node.level == 0 and module is not None and (
+                module == "repro" or module.startswith("repro.")
+            ):
+                names.add(module)
+                for alias in node.names:
+                    names.add(f"{module}.{alias.name}")
+    return names
+
+
+def fingerprint_files() -> Tuple[str, ...]:
+    """Relative paths of the sources the fingerprint covers, sorted.
+
+    The transitive ``repro.*`` import closure of the scenario runner and
+    the scenario catalog — i.e. exactly the code that can influence a
+    simulation result.  Tooling-only packages (``repro.lint``,
+    ``repro.perf``) are unreachable from the runner and therefore excluded:
+    editing a lint rule does not invalidate a warm result cache.
+    """
+    root = Path(__file__).resolve().parent.parent
+    seen: Dict[str, Path] = {}
+    queue = ["repro"] + list(_FINGERPRINT_ROOTS)
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        path = _module_path(name, root) if name != "repro" else root / "__init__.py"
+        if path is None or not path.is_file():
+            continue
+        seen[name] = path
+        queue.extend(_module_imports(path) - seen.keys())
+    return tuple(sorted(str(p.relative_to(root.parent)) for p in seen.values()))
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the sources a scenario run can execute (path + contents).
+
+    Part of every disk key: any change to code reachable from the runner —
+    simulator, traffic models, controllers, experiment plumbing — yields
+    new keys, so results computed by old code are never served for new
+    code.  The hash covers only the runner's import closure (see
+    :func:`fingerprint_files`), so purely tooling changes (lint rules, the
+    perf harness) keep a warm cache warm.  Computed once per process.
     """
     global _code_fingerprint_cached
     if _code_fingerprint_cached is None:
-        digest = hashlib.sha256()
         root = Path(__file__).resolve().parent.parent
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
+        digest = hashlib.sha256()
+        for relative in fingerprint_files():
+            digest.update(relative.encode())
             digest.update(b"\0")
-            digest.update(path.read_bytes())
+            digest.update((root.parent / relative).read_bytes())
             digest.update(b"\0")
         _code_fingerprint_cached = digest.hexdigest()
     return _code_fingerprint_cached

@@ -34,7 +34,12 @@ from repro.experiments.lossload import (
     sweep_loss_load_curves,
 )
 from repro.experiments.parallel import replicate_many
-from repro.experiments.runner import ControllerSpec, MbacConfig, ScenarioConfig
+from repro.experiments.runner import (
+    ControllerSpec,
+    MbacConfig,
+    ReplicatedResult,
+    ScenarioConfig,
+)
 from repro.experiments.scenarios import (
     SCENARIOS,
     default_scale,
@@ -88,7 +93,7 @@ class FigureResult:
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (loss-load curves become point lists)."""
         return {
             "name": self.name,
@@ -110,7 +115,7 @@ class FigureResult:
             json.dump(self.to_dict(), fh, indent=2)
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Best-effort conversion of figure data to JSON-serializable types."""
     if isinstance(value, LossLoadCurve):
         return {
@@ -452,7 +457,7 @@ def table4(scale: Optional[float] = None) -> FigureResult:
     rows = []
     data: Dict[str, Tuple[float, float]] = {}
 
-    def add_row(label: str, result) -> None:
+    def add_row(label: str, result: ReplicatedResult) -> None:
         small = sum(result.class_mean(s, "blocking_probability") for s in small_labels)
         small /= len(small_labels)
         large = result.class_mean("EXP2", "blocking_probability")
@@ -552,7 +557,7 @@ def table6(scale: Optional[float] = None) -> FigureResult:
     rows = []
     data: Dict[str, Dict[str, float]] = {}
 
-    def add_row(label: str, result) -> None:
+    def add_row(label: str, result: ReplicatedResult) -> None:
         shorts = [result.class_mean(f"short{i}", "blocking_probability") for i in range(3)]
         long_block = result.class_mean("long", "blocking_probability")
         product = 1.0

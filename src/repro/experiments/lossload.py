@@ -55,7 +55,7 @@ class LossLoadCurve:
     def losses(self) -> List[float]:
         return [p.loss_probability for p in self.points]
 
-    def loss_range(self) -> tuple:
+    def loss_range(self) -> Tuple[float, float]:
         """(min, max) achievable loss across the sweep."""
         losses = self.losses
         return (min(losses), max(losses))

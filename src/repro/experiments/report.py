@@ -14,13 +14,15 @@ depends on :mod:`repro.experiments.parallel` in turn.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # import cycle: lossload -> parallel -> report
     from repro.experiments.lossload import LossLoadCurve
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
     """Fixed-width table with a separator under the header row."""
     str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
@@ -37,7 +39,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = 
     return "\n".join(lines)
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value != 0 and abs(value) < 1e-3:
             return f"{value:.2e}"
@@ -65,7 +67,12 @@ def format_curves(curves: Sequence[LossLoadCurve], title: str = "") -> str:
     return "\n\n".join(blocks)
 
 
-def format_series(x_label: str, x: Sequence, series: dict, title: str = "") -> str:
+def format_series(
+    x_label: str,
+    x: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+) -> str:
     """Render aligned multi-series data (e.g. Figure 1's two panels)."""
     headers = [x_label] + list(series)
     rows = []

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import (
     ClassStats,
@@ -116,7 +116,7 @@ class ScenarioResult:
     blocking_probability: float
     offered: int
     admitted: int
-    per_class: Dict[str, dict] = field(default_factory=dict)
+    per_class: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     per_link_utilization: List[float] = field(default_factory=list)
     per_link_loss: List[float] = field(default_factory=list)
     probe_utilization: float = 0.0
@@ -165,7 +165,7 @@ def build_controller(
 def _prefill(
     sim: Simulator,
     streams: RandomStreams,
-    controller,
+    controller: ControllerBase,
     classes: List[FlowClass],
     config: ScenarioConfig,
 ) -> None:

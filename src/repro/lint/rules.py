@@ -149,6 +149,7 @@ class WallClockChecker(_AliasTrackingChecker):
         "benchmarks/",
         "experiments/cache",
         "experiments/parallel",
+        "repro/perf",
     )
 
     def __init__(self, context: ModuleContext) -> None:

@@ -130,6 +130,7 @@ class OutputPort:
             # Down link: the packet vanishes with no feedback to anyone.
             self.fault_drops += 1
             pkt.flow.note_lost()
+            pkt.flow.release(pkt)
             return
         model = self.loss_model
         if model is not None and model.should_drop():
@@ -137,6 +138,7 @@ class OutputPort:
             # receiver-side accounting infers it), unlike a blackhole.
             self.fault_drops += 1
             pkt.flow.note_dropped()
+            pkt.flow.release(pkt)
             return
         stats = self.stats
         kind = pkt.kind
@@ -166,6 +168,7 @@ class OutputPort:
             # the transmitter idles until set_enabled(True) restarts it.
             self.fault_drops += 1
             pkt.flow.note_lost()
+            pkt.flow.release(pkt)
             self.busy = False
             return
         stats = self.stats
@@ -183,8 +186,33 @@ class OutputPort:
         if self.prop_delay > 0:
             self.sim.call(self.prop_delay, self._arrive, pkt)
         else:
-            self._arrive(pkt)
-        self._start_next()
+            # Zero-delay hop: :meth:`_arrive` unrolled inline — this runs
+            # once per packet, and the call itself is measurable.
+            hop = pkt.hop + 1
+            pkt.hop = hop
+            route = pkt.route
+            if hop < len(route):
+                route[hop].send(pkt)
+            else:
+                pkt.sink.receive(pkt)
+        # Self-clocked transmit chain: while the backlog lasts, the next
+        # serialization is scheduled from inside this completion through
+        # the engine's chain slot — one heap operation per busy period,
+        # not per packet.  Order matters for determinism: the delivery
+        # above must see the queue state *before* the next dequeue, and
+        # the chained event takes the same seq a sim.call here would.
+        next_pkt = self.qdisc.dequeue()
+        if next_pkt is None:
+            self.busy = False
+            idle_hook: Optional[Callable[[float], None]] = getattr(
+                self.qdisc, "note_idle", None
+            )
+            if idle_hook is not None:
+                idle_hook(self.sim.now)
+            return
+        self.sim.call_chained(
+            next_pkt.size * self._tx_per_byte, self._tx_done, next_pkt
+        )
 
     # -- fault injection ---------------------------------------------------
 
@@ -206,6 +234,7 @@ class OutputPort:
             while pkt is not None:
                 self.fault_drops += 1
                 pkt.flow.note_lost()
+                pkt.flow.release(pkt)
                 pkt = self.qdisc.dequeue()
         elif not self.busy:
             self._start_next()

@@ -6,6 +6,14 @@ in :class:`FlowAccounting` objects that packets point at: a queue that drops
 a packet increments counters on the packet's accounting record directly,
 which is both faster and simpler than routing loss notifications back
 through the topology.
+
+Each accounting object doubles as a packet free list (DESIGN.md §11):
+sources acquire packets through :meth:`FlowAccounting.acquire` and the
+datapath returns dead packets — delivered, dropped, or blackholed — through
+:meth:`FlowAccounting.release`.  A reused packet is reinitialized field by
+field on acquire, so pooling is invisible to everything downstream; keying
+the pool by the owning flow means a packet can never resurface under
+another flow's accounting.
 """
 
 from __future__ import annotations
@@ -27,6 +35,13 @@ KIND_NAMES = {DATA: "data", PROBE: "probe", BEST_EFFORT: "best-effort", ACK: "ac
 # served first.  Out-of-band designs place probes at PRIO_PROBE.
 PRIO_DATA = 0
 PRIO_PROBE = 1
+
+#: Per-flow packet pool bound.  A CBR flow keeps only a handful of packets
+#: in flight, but bursty sources (and the probe trains of the paper's
+#: slow-start designs) release whole windows at once; the cap covers a
+#: full queue's worth of backlog without letting a pathological flow
+#: hoard memory.
+POOL_MAX = 256
 
 
 class Receiver(Protocol):
@@ -61,7 +76,8 @@ class FlowAccounting:
     """
 
     __slots__ = ("flow_id", "sent", "delivered", "dropped", "marked", "lost",
-                 "bytes_sent", "bytes_delivered", "drop_hook", "mark_hook")
+                 "bytes_sent", "bytes_delivered", "drop_hook", "mark_hook",
+                 "_pool")
 
     def __init__(self, flow_id: int = -1) -> None:
         self.flow_id = flow_id
@@ -74,6 +90,61 @@ class FlowAccounting:
         self.bytes_delivered = 0
         self.drop_hook: Optional[Callable[[], None]] = None
         self.mark_hook: Optional[Callable[[], None]] = None
+        self._pool: List["Packet"] = []
+
+    # -- packet pooling ---------------------------------------------------
+
+    def acquire(
+        self,
+        size: int,
+        kind: int,
+        route: List["OutputPort"],
+        sink: "Receiver",
+        prio: int = PRIO_DATA,
+        seq: int = 0,
+        created: float = 0.0,
+        payload: Any = None,
+    ) -> "Packet":
+        """A packet owned by this flow, recycled from the pool when possible.
+
+        Every field is (re)assigned here, so a pooled packet is
+        indistinguishable from a freshly constructed one — nothing from
+        its previous life (ECN bit, hop index, payload) survives.
+        """
+        pool = self._pool
+        if pool:
+            pkt = pool.pop()
+            pkt.pooled = False
+            pkt.size = size
+            pkt.kind = kind
+            pkt.prio = prio
+            pkt.ecn = False
+            pkt.route = route
+            pkt.hop = 0
+            pkt.sink = sink
+            pkt.seq = seq
+            pkt.created = created
+            pkt.payload = payload
+            return pkt
+        return Packet(size, kind, self, route, sink,
+                      prio=prio, seq=seq, created=created, payload=payload)
+
+    def release(self, pkt: "Packet") -> None:
+        """Return a dead packet to this flow's pool.
+
+        Only packets owned by this flow are accepted, a packet already in
+        the pool is ignored (double release is harmless), and the pool is
+        bounded — beyond :data:`POOL_MAX` the packet is left to the
+        garbage collector.  The payload reference is dropped immediately
+        so pooled packets never pin application objects.
+        """
+        if pkt.flow is not self or pkt.pooled:
+            return
+        pool = self._pool
+        if len(pool) < POOL_MAX:
+            pkt.pooled = True
+            pkt.payload = None
+            pool.append(pkt)
 
     # -- counter updates --------------------------------------------------
 
@@ -131,7 +202,7 @@ class Packet:
     """
 
     __slots__ = ("size", "kind", "prio", "flow", "ecn", "route", "hop",
-                 "sink", "seq", "created", "payload")
+                 "sink", "seq", "created", "payload", "pooled")
 
     def __init__(
         self,
@@ -156,6 +227,8 @@ class Packet:
         self.seq = seq
         self.created = created
         self.payload = payload
+        #: True while the packet is parked in its flow's free list.
+        self.pooled = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -55,8 +55,16 @@ class QueueDiscipline(Protocol):
 
 
 def _drop(pkt: Packet) -> None:
-    """Record a drop on the packet's flow accounting and fire its hook."""
+    """Record a drop on the packet's flow accounting and fire its hook.
+
+    The packet is dead after this — dropped arrivals are forgotten by the
+    caller and push-out victims have already left the queue — so it goes
+    back to its flow's free list.  The release happens *after* the drop
+    hook so an early-abort triggered by this very drop still observes the
+    packet intact.
+    """
     pkt.flow.note_dropped()
+    pkt.flow.release(pkt)
 
 
 def _mark(pkt: Packet) -> None:

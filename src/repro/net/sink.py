@@ -61,7 +61,11 @@ class Sink:
                 self.latency_max = latency
         callback = self.on_receive
         if callback is not None:
+            # A receiver callback (TCP) may keep the packet; it owns the
+            # release decision, so the pool is bypassed here.
             callback(pkt)
+        else:
+            flow.release(pkt)
 
     @property
     def mean_latency(self) -> float:

@@ -1,0 +1,244 @@
+"""Benchmark regression harness for the simulator fast path.
+
+``python -m repro.perf`` times a small suite of micro-benchmarks (raw event
+dispatch, the packet-transmission chain, cancellation churn) plus two
+representative scenarios, and writes or checks ``BENCH_simcore.json`` — a
+committed baseline that CI uses to catch accidental slowdowns of the hot
+path (see DESIGN.md §11 for what the fast path consists of).
+
+Wall-clock seconds do not transfer between machines, so the baseline also
+records a *calibration* time — a fixed pure-Python workload shaped like the
+engine's inner loop — and regression checks compare benchmark times
+normalized by it.  A faster or slower runner shifts both numbers together;
+only a genuine change in simulator work moves the ratio.
+
+The numbers here are wall-clock and therefore inherently noisy; the
+``--check`` mode exists to catch *regressions* against the committed
+baseline within a generous tolerance, not to prove speedups.  Performance
+claims belong in EXPERIMENTS.md with the interleaved A/B methodology used
+to produce them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import platform
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Bump when the payload layout of BENCH_simcore.json changes.
+SCHEMA_VERSION = 1
+
+#: Default location of the committed baseline (repo root).
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "BENCH_simcore.json"
+
+#: Default scenario scale for the two representative scenario benchmarks;
+#: small enough for CI, large enough to exercise warm-up plus a measured
+#: window.  The committed baseline must be generated at the same scale.
+DEFAULT_SCALE = 0.002
+
+#: Default timing rounds per benchmark (min-of-N defeats most scheduler
+#: noise; the median is reported alongside for context).
+DEFAULT_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing and throughput figures for one benchmark."""
+
+    name: str
+    rounds: int
+    min_s: float
+    median_s: float
+    #: Events dispatched per wall-clock second (min round), when the
+    #: benchmark counts engine events; 0.0 otherwise.
+    events_per_s: float = 0.0
+    #: Packets delivered per wall-clock second (min round), when the
+    #: benchmark moves packets; 0.0 otherwise.
+    packets_per_s: float = 0.0
+    #: Peak heap-garbage ratio observed before the run drained it.
+    garbage_ratio: float = 0.0
+    #: Heap compactions performed during the benchmark.
+    compactions: int = 0
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One full harness run: every benchmark plus the calibration time."""
+
+    schema: int
+    scale: float
+    rounds: int
+    calibration_s: float
+    python: str
+    results: Dict[str, BenchResult] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=1, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that exceeded the allowed normalized slowdown."""
+
+    name: str
+    baseline_norm: float
+    current_norm: float
+    ratio: float
+
+
+def timed(
+    fn: Callable[[], object], rounds: int
+) -> Tuple[float, float, object]:
+    """(min seconds, median seconds, last return value) over ``rounds``."""
+    times: List[float] = []
+    value: object = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), statistics.median(times), value
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed engine-shaped workload on this machine.
+
+    A heap push/pop cycle over 20k keys — the same mix of float compares,
+    list traffic, and C-level heap calls that dominates the simulator's
+    inner loop.  Used to normalize wall-clock numbers across machines.
+    """
+
+    def spin() -> None:
+        heap: List[int] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        for i in range(20_000):
+            push(heap, (i * 2654435761) % 100_003)
+        while heap:
+            pop(heap)
+
+    best, _, _ = timed(spin, rounds)
+    return best
+
+
+def run_suite(
+    rounds: int = DEFAULT_ROUNDS,
+    scale: float = DEFAULT_SCALE,
+    only: Optional[List[str]] = None,
+) -> BenchReport:
+    """Run the benchmark suite and return a full report."""
+    from repro.perf.benches import BENCHMARKS
+
+    results: Dict[str, BenchResult] = {}
+    for name, bench in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        results[name] = bench(name, rounds, scale)
+    return BenchReport(
+        schema=SCHEMA_VERSION,
+        scale=scale,
+        rounds=rounds,
+        calibration_s=calibrate(),
+        python=platform.python_version(),
+        results=results,
+    )
+
+
+def load_baseline(path: Path) -> BenchReport:
+    """Parse a committed ``BENCH_simcore.json``; raises on schema mismatch."""
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline schema {payload.get('schema')!r} != {SCHEMA_VERSION} "
+            f"(regenerate with --update)"
+        )
+    results = {
+        name: BenchResult(**raw) for name, raw in payload["results"].items()
+    }
+    return BenchReport(
+        schema=payload["schema"],
+        scale=payload["scale"],
+        rounds=payload["rounds"],
+        calibration_s=payload["calibration_s"],
+        python=payload["python"],
+        results=results,
+    )
+
+
+def compare(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float,
+) -> List[Regression]:
+    """Benchmarks whose normalized time regressed beyond ``tolerance``.
+
+    Normalized time is ``min_s / calibration_s`` of the same report, which
+    cancels out machine speed.  A benchmark present only on one side is
+    ignored (new benchmarks need a baseline update, not a CI failure).
+    """
+    if abs(current.scale - baseline.scale) > 1e-12:
+        raise ValueError(
+            f"scale mismatch: current {current.scale} vs baseline "
+            f"{baseline.scale}; rerun with --scale {baseline.scale}"
+        )
+    regressions: List[Regression] = []
+    for name, base in baseline.results.items():
+        now = current.results.get(name)
+        if now is None:
+            continue
+        base_norm = base.min_s / baseline.calibration_s
+        curr_norm = now.min_s / current.calibration_s
+        ratio = curr_norm / base_norm if base_norm > 0 else float("inf")
+        if ratio > 1.0 + tolerance:
+            regressions.append(Regression(name, base_norm, curr_norm, ratio))
+    return regressions
+
+
+def format_table(
+    report: BenchReport, baseline: Optional[BenchReport] = None
+) -> str:
+    """Human-readable table of one report, with baseline ratios if given."""
+    header = (
+        f"{'benchmark':<24} {'min (s)':>9} {'median':>9} "
+        f"{'events/s':>11} {'packets/s':>11} {'vs base':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, result in sorted(report.results.items()):
+        versus = ""
+        if baseline is not None and name in baseline.results:
+            base = baseline.results[name]
+            base_norm = base.min_s / baseline.calibration_s
+            curr_norm = result.min_s / report.calibration_s
+            if base_norm > 0:
+                versus = f"{curr_norm / base_norm:7.2f}x"
+        lines.append(
+            f"{name:<24} {result.min_s:>9.4f} {result.median_s:>9.4f} "
+            f"{result.events_per_s:>11.0f} {result.packets_per_s:>11.0f} "
+            f"{versus:>8}"
+        )
+    lines.append(
+        f"calibration {report.calibration_s:.4f}s  scale {report.scale}  "
+        f"rounds {report.rounds}  python {report.python}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BenchReport",
+    "BenchResult",
+    "DEFAULT_BASELINE",
+    "DEFAULT_ROUNDS",
+    "DEFAULT_SCALE",
+    "Regression",
+    "SCHEMA_VERSION",
+    "calibrate",
+    "compare",
+    "format_table",
+    "load_baseline",
+    "run_suite",
+    "timed",
+]

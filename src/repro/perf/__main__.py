@@ -1,0 +1,118 @@
+"""CLI for the benchmark regression harness.
+
+Usage::
+
+    python -m repro.perf                 # run suite, compare informationally
+    python -m repro.perf --update        # (re)write BENCH_simcore.json
+    python -m repro.perf --check         # exit 1 on regression vs baseline
+    python -m repro.perf --check --tolerance 0.25
+    python -m repro.perf --only packet-chain --rounds 5
+
+The regression check compares calibration-normalized times, so a baseline
+committed from one machine remains meaningful on another (see the package
+docstring).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf import (
+    DEFAULT_BASELINE,
+    DEFAULT_ROUNDS,
+    DEFAULT_SCALE,
+    BenchReport,
+    compare,
+    format_table,
+    load_baseline,
+    run_suite,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Time the simulator fast path and check for regressions.",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help=f"timing rounds per benchmark (default {DEFAULT_ROUNDS})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help=f"scenario scale for the end-to-end benchmarks "
+             f"(default {DEFAULT_SCALE}; must match the baseline's)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline JSON path (default: BENCH_simcore.json at repo root)",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="run only the named benchmark (repeatable)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the results as the new baseline",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed normalized slowdown for --check (default 0.25)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.update and args.check:
+        print("--update and --check are mutually exclusive", file=sys.stderr)
+        return 2
+
+    baseline: Optional[BenchReport] = None
+    if not args.update and args.baseline.is_file():
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, KeyError, TypeError) as exc:
+            if args.check:
+                print(f"unusable baseline: {exc}", file=sys.stderr)
+                return 2
+            print(f"(ignoring unusable baseline: {exc})", file=sys.stderr)
+    if args.check and baseline is None:
+        print(f"no baseline at {args.baseline}; run --update first",
+              file=sys.stderr)
+        return 2
+
+    scale = baseline.scale if baseline is not None else args.scale
+    report = run_suite(rounds=args.rounds, scale=scale, only=args.only)
+    print(format_table(report, baseline))
+
+    if args.update:
+        args.baseline.write_text(report.to_json())
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    if args.check:
+        assert baseline is not None
+        regressions = compare(report, baseline, args.tolerance)
+        if regressions:
+            print()
+            for reg in regressions:
+                print(
+                    f"REGRESSION {reg.name}: {reg.ratio:.2f}x normalized "
+                    f"({reg.baseline_norm:.3f} -> {reg.current_norm:.3f}, "
+                    f"tolerance {1 + args.tolerance:.2f}x)"
+                )
+            return 1
+        print(f"\nno regressions beyond {1 + args.tolerance:.2f}x normalized")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,14 +11,39 @@ of every experiment, so it favors plain data structures over abstraction:
 * callbacks receive their pre-bound positional arguments, avoiding closure
   allocation in inner loops.
 
+Three fast paths keep per-event constant costs down without changing
+dispatch order (DESIGN.md §11 gives the invariants):
+
+* **record free list** — cancelled (and step-dispatched) records are
+  recycled into the next ``schedule``/``schedule_at`` instead of being
+  left to the garbage collector; handles remember their record's ``seq``
+  so a recycled record can never be cancelled through a stale handle.
+  The handle-less ``call`` builds records fresh: CPython's internal
+  small-list freelist makes construction cheaper than reinitialising a
+  recycled record, so recycling is reserved for the cancellation-heavy
+  timer paths where it pays (bulk GC pressure, not construction cost);
+* **head lane** — events scheduled for exactly the current time bypass the
+  heap into a FIFO deque (its records are sorted by construction: time is
+  the non-decreasing clock, ``seq`` increases);
+* **chain slot** — :meth:`call_chained` parks the *expected next* event of
+  a self-clocked component (an output port serializing a queue backlog) in
+  four scalar slots (time, seq, callback, args) rather than a record: a
+  chained event cannot be cancelled, so it needs no ``alive`` flag and no
+  record at all.  While the chain stays the earliest pending event it is
+  dispatched straight from the slots — zero heap operations and zero
+  record traffic per link — and it simply waits (still in correct
+  (time, seq) order) whenever another event is due sooner.
+
 Event times are validated at scheduling time: a NaN deadline compares False
 against every bound (``when < self.now`` never fires), so without the check
 a single NaN would silently corrupt the heap's ordering and with it every
 downstream result.  :class:`Simulator` therefore rejects non-finite times
 unconditionally, and ``Simulator(strict=True)`` adds the dynamic checks a
-linter cannot prove statically: a monotone clock at dispatch and a bounded
-heap-garbage ratio (cancelled records are compacted away once they dominate
-the calendar).
+linter cannot prove statically: a monotone clock and re-checked finite
+times at dispatch.  Heap compaction (cancelled records rebuilt away once
+they dominate the calendar) runs in *every* engine, not just strict mode —
+long admission-control sweeps cancel enough timers for the garbage to
+dominate the heap.
 
 Example
 -------
@@ -36,7 +61,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
 from repro.errors import SimulationError
 
@@ -45,9 +71,13 @@ from repro.errors import SimulationError
 # two dispatch loops cannot drift apart.
 _TIME, _SEQ, _FN, _ARGS, _ALIVE = 0, 1, 2, 3, 4
 
-#: Minimum number of cancelled records before strict mode considers
+#: Minimum number of cancelled records before the engine considers
 #: compacting the heap (avoids rebuilding tiny calendars).
 _COMPACT_MIN = 512
+
+#: Upper bound on recycled event records kept for reuse; beyond this the
+#: records are simply dropped for the garbage collector.
+_FREE_MAX = 256
 
 #: Process-wide default for ``Simulator(strict=None)``; see
 #: :func:`set_strict_default`.
@@ -79,28 +109,39 @@ class EventHandle:
     Cancellation is lazy: the record stays in the heap but is skipped when
     popped.  This makes cancel O(1) at the cost of a little heap garbage,
     which is the right trade-off for timers that are usually *not* cancelled.
+
+    The handle snapshots its record's ``seq`` (and fire time): once the
+    event has dispatched, its record may be recycled for an unrelated
+    future event, and the ``seq`` mismatch is what keeps a stale handle's
+    :meth:`cancel` from reaching through to the new occupant.
     """
 
-    __slots__ = ("_record", "_sim")
+    __slots__ = ("_record", "_seq", "_time", "_sim")
 
-    def __init__(self, record: List[Any], sim: Optional["Simulator"] = None) -> None:
+    def __init__(
+        self, record: List[Any], seq: int, sim: Optional["Simulator"] = None
+    ) -> None:
         self._record = record
+        self._seq = seq
+        self._time = record[_TIME]
         self._sim = sim
 
     @property
     def time(self) -> float:
         """Absolute simulation time at which the event will fire."""
-        return float(self._record[_TIME])
+        return float(self._time)
 
     @property
     def alive(self) -> bool:
         """True while the event is still pending (not cancelled, not fired)."""
-        return bool(self._record[_ALIVE])
+        record = self._record
+        return record[_SEQ] == self._seq and bool(record[_ALIVE])
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is harmless."""
-        if self._record[_ALIVE]:
-            self._record[_ALIVE] = False
+        record = self._record
+        if record[_SEQ] == self._seq and record[_ALIVE]:
+            record[_ALIVE] = False
             if self._sim is not None:
                 self._sim._note_cancelled()
 
@@ -118,21 +159,36 @@ class Simulator:
     strict:
         Enable the debug validations that static analysis cannot prove:
         the clock is checked to be monotone at every dispatch (catching
-        post-push mutation of event records), event times are re-checked
-        finite at dispatch, and the heap is compacted when cancelled
-        garbage outnumbers live events.  Costs a few percent of event
-        throughput; leave off for production sweeps.  ``None`` (the
-        default) defers to the process-wide :func:`set_strict_default`
-        setting — off unless something (e.g. the test suite) turned it on.
+        post-push mutation of event records) and event times are re-checked
+        finite at dispatch.  Costs a few percent of event throughput; leave
+        off for production sweeps.  ``None`` (the default) defers to the
+        process-wide :func:`set_strict_default` setting — off unless
+        something (e.g. the test suite) turned it on.
     """
 
-    __slots__ = ("now", "strict", "_heap", "_seq", "_stopped",
-                 "_events_processed", "_cancelled", "_compactions")
+    __slots__ = ("now", "strict", "_heap", "_head", "_free",
+                 "_chain_time", "_chain_seq", "_chain_fn", "_chain_args",
+                 "_seq", "_stopped", "_events_processed", "_cancelled",
+                 "_compactions")
 
     def __init__(self, strict: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self.strict: bool = _strict_default if strict is None else strict
         self._heap: List[List[Any]] = []
+        #: FIFO lane for events scheduled at exactly the current time;
+        #: sorted by (time, seq) by construction.
+        self._head: Deque[List[Any]] = deque()
+        #: The chain slot (see call_chained) is four scalar slots rather
+        #: than an event record: chained events cannot be cancelled, so
+        #: they need no ``alive`` flag, no handle, and no record traffic
+        #: at all — the fields are read and overwritten in place.  The
+        #: slot is empty iff ``_chain_fn is None``.
+        self._chain_time: float = 0.0
+        self._chain_seq: int = 0
+        self._chain_fn: Optional[Callable[..., Any]] = None
+        self._chain_args: Any = ()
+        #: Recycled event records awaiting reuse.
+        self._free: List[List[Any]] = []
         self._seq: int = 0
         self._stopped: bool = False
         self._events_processed: int = 0
@@ -140,6 +196,18 @@ class Simulator:
         self._compactions: int = 0
 
     # -- scheduling -----------------------------------------------------
+
+    # NOTE: the three schedulers repeat the free-list pop + reinitialise
+    # sequence inline rather than sharing an ``_acquire`` helper: they are
+    # called once per event, and a Python-level call per schedule is the
+    # single biggest constant the profile shows on the datapath.
+
+    def _release(self, record: List[Any]) -> None:
+        """Recycle a dead record (drop callback refs so nothing is pinned)."""
+        free = self._free
+        if len(free) < _FREE_MAX:
+            record[_FN] = record[_ARGS] = None
+            free.append(record)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -165,7 +233,48 @@ class Simulator:
         if when == math.inf:
             raise SimulationError(f"cannot schedule at non-finite time {when!r}")
         self._seq += 1
-        heapq.heappush(self._heap, [when, self._seq, fn, args, True])
+        record = [when, self._seq, fn, args, True]
+        if when > self.now:
+            heapq.heappush(self._heap, record)
+        else:
+            # schedule_at_head: ``when >= now`` already held above, so the
+            # else-branch means "exactly now" — the event sorts after every
+            # pending same-time event (largest seq) and before everything
+            # later, and a FIFO sidesteps the heap entirely.
+            self._head.append(record)
+
+    def call_chained(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule the next link of a self-clocked event chain.
+
+        Semantically identical to :meth:`call`; the event is parked in a
+        one-deep scalar slot instead of the heap.  The dispatch loop
+        compares the slot against the heap and head-lane fronts, so when
+        the chained event is the earliest pending event — the common case
+        for an output port draining its backlog — it dispatches straight
+        from the slot with zero heap operations and no event record.  The
+        slot only spills into the heap (as an ordinary record) when a
+        second chain claims it.  Chained events cannot be cancelled;
+        guard in the callback instead.
+        """
+        if not (delay >= 0):
+            if math.isnan(delay):
+                raise SimulationError("cannot schedule at a NaN delay")
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        when = self.now + delay
+        if when == math.inf:
+            raise SimulationError(f"cannot schedule at non-finite time {when!r}")
+        self._seq += 1
+        if self._chain_fn is not None:
+            # Two live chains (two busy ports): the older one takes the
+            # ordinary heap route, the newest keeps the slot.
+            heapq.heappush(self._heap, [
+                self._chain_time, self._chain_seq,
+                self._chain_fn, self._chain_args, True,
+            ])
+        self._chain_time = when
+        self._chain_seq = self._seq
+        self._chain_fn = fn
+        self._chain_args = args
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``when``."""
@@ -178,40 +287,89 @@ class Simulator:
         if when == math.inf:
             raise SimulationError(f"cannot schedule at non-finite time {when!r}")
         self._seq += 1
-        record: List[Any] = [when, self._seq, fn, args, True]
-        heapq.heappush(self._heap, record)
-        return EventHandle(record, self)
+        free = self._free
+        if free:
+            record = free.pop()
+            record[_TIME] = when
+            record[_SEQ] = self._seq
+            record[_FN] = fn
+            record[_ARGS] = args
+            record[_ALIVE] = True
+        else:
+            record = [when, self._seq, fn, args, True]
+        if when > self.now:
+            heapq.heappush(self._heap, record)
+        else:
+            # The head lane again: ``when`` equals the current time.
+            self._head.append(record)
+        return EventHandle(record, self._seq, self)
 
     # -- execution ------------------------------------------------------
 
     def _pop_live(self) -> Optional[List[Any]]:
-        """Pop the next live record, discarding cancelled garbage.
+        """Pop the next live record across the three lanes.
 
-        The single shared implementation of the pop-skip-cancelled pattern
-        used by both :meth:`step` and :meth:`run`.
+        The readable implementation of the three-lane pop-skip-cancelled
+        pattern (``run`` unrolls the same logic; the golden tests pin the
+        two loops together): the earliest of the heap front, the head-lane
+        front, and the chain slot wins.  Record comparison is (time, seq)
+        lexicographic — ``seq`` is unique, so list comparison never reaches
+        the callback fields — and the scalar chain slot is compared on the
+        same key.  A winning chain is materialized into an ordinary record
+        so :meth:`_dispatch` handles all three lanes identically.
         """
         heap = self._heap
-        cancelled = self._cancelled
+        head = self._head
         pop = heapq.heappop
-        record: Optional[List[Any]] = None
-        while heap:
-            candidate = pop(heap)
-            if candidate[_ALIVE]:
-                record = candidate
+        cancelled = self._cancelled
+        while True:
+            record: Optional[List[Any]] = heap[0] if heap else None
+            lane = 1
+            if head and (record is None or head[0] < record):
+                record = head[0]
+                lane = 2
+            chain_fn = self._chain_fn
+            if chain_fn is not None:
+                chain_time = self._chain_time
+                chain_seq = self._chain_seq
+                if (
+                    record is None
+                    or chain_time < record[_TIME]
+                    or (chain_time == record[_TIME] and chain_seq < record[_SEQ])
+                ):
+                    chain_args = self._chain_args
+                    self._chain_fn = None
+                    self._chain_args = ()
+                    self._cancelled = max(0, cancelled)
+                    return [chain_time, chain_seq, chain_fn, chain_args, True]
+            if record is None:
                 break
+            if lane == 1:
+                pop(heap)
+            else:
+                head.popleft()
+            if record[_ALIVE]:
+                self._cancelled = max(0, cancelled)
+                return record
             cancelled -= 1
+            self._release(record)
         self._cancelled = max(0, cancelled)
-        return record
+        return None
 
     def _dispatch(self, record: List[Any]) -> None:
-        """Advance the clock to ``record`` and fire its callback."""
+        """Advance the clock to ``record``, recycle it, and fire its callback."""
         when = record[_TIME]
         if self.strict:
             self._validate_dispatch(when)
+        if self._cancelled >= _COMPACT_MIN and self._cancelled > len(self._heap) // 2:
+            self._compact()
         record[_ALIVE] = False
         self.now = when
         self._events_processed += 1
-        record[_FN](*record[_ARGS])
+        fn = record[_FN]
+        args = record[_ARGS]
+        self._release(record)
+        fn(*args)
 
     def _validate_dispatch(self, when: float) -> None:
         """Strict-mode checks on the event about to fire."""
@@ -225,17 +383,26 @@ class Simulator:
                 f"clock would move backwards: event at t={when!r} dispatched "
                 f"at t={self.now!r}"
             )
-        if self._cancelled >= _COMPACT_MIN and self._cancelled > len(self._heap) // 2:
-            self._compact()
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel`; feeds the garbage ratio."""
         self._cancelled += 1
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled records (strict mode only)."""
-        self._heap = [record for record in self._heap if record[_ALIVE]]
-        heapq.heapify(self._heap)
+        """Rebuild the heap without cancelled records, recycling them.
+
+        The rebuild is in place (slice assignment) so that :meth:`run`'s
+        local alias of the heap list stays valid across a compaction.
+        """
+        heap = self._heap
+        live = []
+        for record in heap:
+            if record[_ALIVE]:
+                live.append(record)
+            else:
+                self._release(record)
+        heap[:] = live
+        heapq.heapify(heap)
         self._cancelled = 0
         self._compactions += 1
 
@@ -259,19 +426,98 @@ class Simulator:
             If given, stop once the next event would fire strictly after
             ``until`` and advance the clock to exactly ``until``.  If omitted,
             run until the calendar drains or :meth:`stop` is called.
+
+        Notes
+        -----
+        The loop body is :meth:`_pop_live` + :meth:`_dispatch` unrolled by
+        hand: at millions of events per sweep the two Python-level calls per
+        event are the dominant constant, so the hot loop pays for neither.
+        :meth:`step` keeps the readable helper-based form; the golden
+        byte-identity tests (``tests/unit/test_golden_identity.py``) and the
+        engine unit tests pin the two forms to identical observable behavior.
         """
         self._stopped = False
-        pop_live = self._pop_live
-        dispatch = self._dispatch
+        heap = self._heap  # _compact mutates in place, so the alias holds
+        head = self._head
+        free = self._free
+        pop = heapq.heappop
         while not self._stopped:
-            record = pop_live()
-            if record is None:
+            chain_fn = self._chain_fn
+            if chain_fn is None and not head:
+                # Hot case: only the heap is occupied — straight pop, no
+                # lane comparisons at all.
+                if not heap:
+                    break
+                record: Optional[List[Any]] = pop(heap)
+            else:
+                # -- select the earliest event across the three lanes ----
+                record = heap[0] if heap else None
+                lane = 1
+                if head and (record is None or head[0] < record):
+                    record = head[0]
+                    lane = 2
+                if chain_fn is not None:
+                    when = self._chain_time
+                    if (
+                        record is None
+                        or when < record[_TIME]
+                        or (when == record[_TIME]
+                            and self._chain_seq < record[_SEQ])
+                    ):
+                        # The chain is due next: dispatch straight from the
+                        # slot — no record, no heap op, no free-list
+                        # traffic.  (The compaction check is skipped here;
+                        # garbage only accumulates through the record
+                        # lanes, whose dispatch below still bounds it.)
+                        if until is not None and when > until:
+                            break  # not yet due; it simply stays parked
+                        if self.strict:
+                            self._validate_dispatch(when)
+                        args = self._chain_args
+                        self._chain_fn = None
+                        self._chain_args = ()
+                        self.now = when
+                        self._events_processed += 1
+                        chain_fn(*args)
+                        continue
+                if record is None:
+                    break
+                if lane == 1:
+                    pop(heap)
+                else:
+                    head.popleft()
+            if not record[_ALIVE]:
+                # Cancelled garbage: recycle the record and keep popping.
+                cancelled = self._cancelled
+                if cancelled > 0:
+                    self._cancelled = cancelled - 1
+                if len(free) < _FREE_MAX:
+                    record[_FN] = record[_ARGS] = None
+                    free.append(record)
+                continue
+            # -- dispatch ------------------------------------------------
+            when = record[_TIME]
+            if until is not None and when > until:
+                # Not yet due: put it back and stop.  The heap is correct
+                # for records from any lane — ordering is (time, seq).
+                heapq.heappush(heap, record)
                 break
-            if until is not None and record[_TIME] > until:
-                # Not yet due: put it back and stop.
-                heapq.heappush(self._heap, record)
-                break
-            dispatch(record)
+            if self.strict:
+                self._validate_dispatch(when)
+            cancelled = self._cancelled
+            if cancelled >= _COMPACT_MIN and cancelled > len(heap) // 2:
+                self._compact()
+            record[_ALIVE] = False
+            self.now = when
+            self._events_processed += 1
+            # Dispatched records are *not* recycled here: CPython's own
+            # small-list freelist makes a fresh ``[when, seq, fn, args,
+            # True]`` cheaper than a reinitialise, so the free list is fed
+            # by the cancelled-skip path above (where records arrive in
+            # bulk) and consumed by the handle-returning schedulers.
+            fn = record[_FN]
+            args = record[_ARGS]
+            fn(*args)
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 
@@ -283,8 +529,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (excluding cancelled garbage)."""
-        return sum(1 for record in self._heap if record[_ALIVE])
+        """Number of events still pending (excluding cancelled garbage)."""
+        count = sum(1 for record in self._heap if record[_ALIVE])
+        count += sum(1 for record in self._head if record[_ALIVE])
+        if self._chain_fn is not None:
+            count += 1
+        return count
 
     @property
     def events_processed(self) -> int:
@@ -293,13 +543,13 @@ class Simulator:
 
     @property
     def garbage_ratio(self) -> float:
-        """Fraction of the heap occupied by cancelled-but-unpopped records."""
-        size = len(self._heap)
+        """Fraction of the calendar occupied by cancelled-but-unpopped records."""
+        size = len(self._heap) + len(self._head)
         if size == 0:
             return 0.0
         return self._cancelled / size
 
     @property
     def compactions(self) -> int:
-        """Number of strict-mode heap compactions performed so far."""
+        """Number of heap compactions performed so far."""
         return self._compactions

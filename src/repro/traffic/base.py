@@ -62,16 +62,21 @@ class Source:
     # -- emission -------------------------------------------------------------
 
     def _emit(self, size: Optional[int] = None) -> Packet:
-        """Send one packet of ``size`` bytes (default: ``packet_bytes``)."""
+        """Send one packet of ``size`` bytes (default: ``packet_bytes``).
+
+        Packets come from the flow's free list (see
+        :meth:`~repro.net.packet.FlowAccounting.acquire`): a steady source
+        cycles a handful of packet objects instead of allocating one per
+        transmission.
+        """
         nbytes = self.packet_bytes if size is None else size
         flow = self.flow
         flow.sent += 1
         flow.bytes_sent += nbytes
         self._seq += 1
-        pkt = Packet(
+        pkt = flow.acquire(
             nbytes,
             self.kind,
-            flow,
             self.route,
             self.sink,
             prio=self.prio,

@@ -1,0 +1,101 @@
+"""Property-based tests for the per-flow packet free list.
+
+The pool's contract is that recycling is invisible: a packet handed out
+by :meth:`FlowAccounting.acquire` must be indistinguishable from a fresh
+:class:`Packet`, whatever its previous life did to it.  These tests
+mutate recycled packets adversarially (ECN bit, hop index, payload,
+route) and assert nothing leaks through, and they drive random
+acquire/release interleavings to pin the structural invariants: no
+packet is ever live and pooled at once, double release never duplicates
+an entry, and the pool honours its bound and ownership rules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import DATA, PROBE, POOL_MAX, FlowAccounting, Packet
+
+_sizes = st.integers(min_value=1, max_value=65_535)
+_kinds = st.sampled_from([DATA, PROBE])
+_seqs = st.integers(min_value=0, max_value=2**31)
+_prios = st.integers(min_value=0, max_value=3)
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def _mangle(pkt: Packet) -> None:
+    """Simulate a full previous life: every mutable field left dirty."""
+    pkt.ecn = True
+    pkt.hop = len(pkt.route) + 3
+    pkt.payload = {"stale": object()}
+    pkt.seq = -1
+    pkt.created = 9e9
+
+
+@given(_sizes, _kinds, _prios, _seqs, _times)
+def test_recycled_packet_has_no_stale_state(size, kind, prio, seq, created):
+    flow = FlowAccounting(7)
+    first = flow.acquire(999, PROBE, [], None, prio=0, seq=123, created=1.0,
+                         payload="old")
+    _mangle(first)
+    flow.release(first)
+
+    route: list = []
+    sink = object()
+    pkt = flow.acquire(size, kind, route, sink, prio=prio, seq=seq,
+                       created=created)
+    assert pkt is first  # the pool actually recycled it
+    fresh = Packet(size, kind, flow, route, sink, prio=prio, seq=seq,
+                   created=created)
+    for slot in Packet.__slots__:
+        assert getattr(pkt, slot) == getattr(fresh, slot), slot
+
+
+@given(st.lists(st.sampled_from(["acquire", "release", "double-release"]),
+                min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_acquire_release_interleavings_keep_invariants(ops):
+    flow = FlowAccounting(1)
+    live: list = []
+    for op in ops:
+        if op == "acquire":
+            pkt = flow.acquire(100, DATA, [], None)
+            assert not pkt.pooled
+            assert all(pkt is not other for other in live)
+            live.append(pkt)
+        elif live:
+            pkt = live.pop()
+            flow.release(pkt)
+            if op == "double-release":
+                before = len(flow._pool)
+                flow.release(pkt)
+                assert len(flow._pool) == before  # ignored, no duplicate
+    # Structural invariants at the end of any interleaving.
+    pool = flow._pool
+    assert len(pool) <= POOL_MAX
+    assert len({id(p) for p in pool}) == len(pool)
+    assert all(p.pooled and p.payload is None for p in pool)
+    assert all(not p.pooled for p in live)
+    assert not ({id(p) for p in pool} & {id(p) for p in live})
+
+
+def test_pool_is_bounded():
+    flow = FlowAccounting(1)
+    packets = [flow.acquire(100, DATA, [], None) for _ in range(POOL_MAX + 50)]
+    for pkt in packets:
+        flow.release(pkt)
+    assert len(flow._pool) == POOL_MAX
+
+
+def test_release_rejects_foreign_packets():
+    mine, theirs = FlowAccounting(1), FlowAccounting(2)
+    pkt = theirs.acquire(100, DATA, [], None)
+    mine.release(pkt)
+    assert not pkt.pooled
+    assert len(mine._pool) == 0
+
+
+def test_released_payload_is_dropped_immediately():
+    flow = FlowAccounting(1)
+    pkt = flow.acquire(100, DATA, [], None, payload={"pinned": True})
+    flow.release(pkt)
+    assert pkt.payload is None

@@ -144,7 +144,7 @@ def test_default_mode_skips_dispatch_validation():
     sim.run()  # silently wrong, by documented design: strict exists for this
 
 
-# -- strict mode: heap-garbage compaction -----------------------------------
+# -- heap-garbage compaction (default in every engine) -----------------------
 
 
 def test_strict_compacts_cancelled_garbage(strict_sim):
@@ -152,7 +152,7 @@ def test_strict_compacts_cancelled_garbage(strict_sim):
     for handle in handles[: 2 * _COMPACT_MIN - 8]:
         handle.cancel()
     assert strict_sim.garbage_ratio > 0.9
-    # Trigger one dispatch so the strict validator runs.
+    # Trigger one dispatch so the compaction check runs.
     strict_sim.schedule(0.5, lambda: None)
     strict_sim.step()
     assert strict_sim.compactions >= 1
@@ -161,13 +161,33 @@ def test_strict_compacts_cancelled_garbage(strict_sim):
     assert strict_sim.pending == 0
 
 
-def test_default_mode_never_compacts():
+def test_default_mode_compacts_too():
+    """Compaction is part of the default engine, not a strict-only check.
+
+    Long admission-control sweeps cancel enough timers for garbage to
+    dominate the calendar; the production hot path must shed it as well
+    (the promotion is benchmarked by ``repro.perf``'s cancel churn).
+    """
     sim = Simulator(strict=False)
     handles = [sim.schedule(10.0 + i, lambda: None) for i in range(2 * _COMPACT_MIN)]
     for handle in handles:
         handle.cancel()
     sim.schedule(0.5, lambda: None)
     sim.step()
+    assert sim.compactions == 1
+    assert sim.garbage_ratio == 0.0
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_compaction_below_floor_never_triggers():
+    """Tiny calendars are never rebuilt, whatever their garbage fraction."""
+    sim = Simulator(strict=False)
+    handles = [sim.schedule(10.0 + i, lambda: None) for i in range(_COMPACT_MIN - 2)]
+    for handle in handles:
+        handle.cancel()
+    sim.schedule(0.5, lambda: None)
+    sim.run()
     assert sim.compactions == 0
 
 
