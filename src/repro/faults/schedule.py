@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.faults.model import FaultConfig, FaultEvent, GilbertElliottModel
 from repro.net.link import OutputPort
 from repro.sim.engine import Simulator
@@ -61,17 +63,27 @@ class FaultSchedule:
         port_names: Sequence[str],
     ) -> None:
         self.config = config
-        self._streams = streams
         self.horizon = horizon
         self.port_names = tuple(port_names)
         self.applied = 0
-        self.events = self._generate()
+        # Derive every stream this schedule will ever use up front and
+        # drop the family reference: the object's RNG footprint is fixed
+        # at construction, so no later call (install, re-install) can
+        # derive a stream in a different scheduling domain.  Label-keyed
+        # derivation is order-independent, so pre-deriving here draws the
+        # same sequences the old install-time derivation did.
+        rng = streams.get("faults")
+        self._loss_rngs: Dict[str, np.random.Generator] = (
+            {name: streams.get(f"faults/loss/{name}") for name in self.port_names}
+            if config.loss_every > 0
+            else {}
+        )
+        self.events = self._generate(rng)
 
     # -- trace generation -------------------------------------------------
 
-    def _generate(self) -> Tuple[FaultEvent, ...]:
+    def _generate(self, rng: np.random.Generator) -> Tuple[FaultEvent, ...]:
         config = self.config
-        rng = self._streams.get("faults")
         events: List[FaultEvent] = []
         for name in self.port_names:
             for family, on_action, off_action in _FAMILIES:
@@ -102,9 +114,7 @@ class FaultSchedule:
         models: Dict[str, GilbertElliottModel] = {}
         if self.config.loss_every > 0:
             for name in self.port_names:
-                model = GilbertElliottModel(
-                    self.config, self._streams.get(f"faults/loss/{name}")
-                )
+                model = GilbertElliottModel(self.config, self._loss_rngs[name])
                 models[name] = model
                 by_name[name].loss_model = model
         for event in self.events:

@@ -8,18 +8,24 @@ truncated chain is found by solving ``pi Q = 0`` with the normalization
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Tuple
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
 
 import numpy as np
+import numpy.typing as npt
 from scipy.sparse import lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from repro.errors import ModelError
 
-TransitionFn = Callable[[Hashable], Iterable[Tuple[Hashable, float]]]
+#: State type of a chain.  Bounding on ``Hashable`` keeps the solver generic
+#: while letting callers (the fluid model uses ``Tuple[int, int]``) pass
+#: transition callbacks typed against their concrete state.
+S = TypeVar("S", bound=Hashable)
+
+TransitionFn = Callable[[S], Iterable[Tuple[S, float]]]
 
 
-class MarkovChain:
+class MarkovChain(Generic[S]):
     """A finite CTMC built by exploring reachable states.
 
     Parameters
@@ -35,17 +41,17 @@ class MarkovChain:
 
     def __init__(
         self,
-        initial: Hashable,
-        transitions: TransitionFn,
+        initial: S,
+        transitions: TransitionFn[S],
         max_states: int = 200_000,
     ) -> None:
         self.transitions = transitions
-        self.index: Dict[Hashable, int] = {}
-        self.states: List[Hashable] = []
+        self.index: Dict[S, int] = {}
+        self.states: List[S] = []
         self._edges: List[Tuple[int, int, float]] = []
         self._explore(initial, max_states)
 
-    def _explore(self, initial: Hashable, max_states: int) -> None:
+    def _explore(self, initial: S, max_states: int) -> None:
         stack = [initial]
         self.index[initial] = 0
         self.states.append(initial)
@@ -69,11 +75,11 @@ class MarkovChain:
                     stack.append(nxt)
                 self._edges.append((i, j, rate))
 
-    def stationary_distribution(self) -> np.ndarray:
+    def stationary_distribution(self) -> npt.NDArray[np.float64]:
         """Stationary probabilities aligned with :attr:`states`."""
         n = len(self.states)
         if n == 1:
-            return np.ones(1)
+            return np.ones(1, dtype=np.float64)
         q = lil_matrix((n, n))
         for i, j, rate in self._edges:
             q[i, j] += rate
@@ -84,15 +90,17 @@ class MarkovChain:
         a[n - 1, :] = 1.0
         b = np.zeros(n)
         b[n - 1] = 1.0
-        pi = spsolve(a.tocsr(), b)
-        pi = np.asarray(pi).ravel()
+        raw = spsolve(a.tocsr(), b)
+        pi: npt.NDArray[np.float64] = np.asarray(raw, dtype=np.float64).ravel()
         # Numerical cleanup: clip tiny negatives, renormalize.
         pi = np.clip(pi, 0.0, None)
-        total = pi.sum()
+        total = float(pi.sum())
         if total <= 0:
             raise ModelError("stationary solve produced a zero vector")
         return pi / total
 
-    def expectation(self, pi: np.ndarray, fn: Callable[[Hashable], float]) -> float:
+    def expectation(
+        self, pi: npt.NDArray[np.float64], fn: Callable[[S], float]
+    ) -> float:
         """E[fn(state)] under a distribution aligned with :attr:`states`."""
         return float(sum(p * fn(s) for s, p in zip(self.states, pi) if p > 0))

@@ -45,7 +45,7 @@ figure; all parameters are free knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -110,7 +110,9 @@ class FluidThrashingModel:
 
     # -- chain definition ----------------------------------------------------
 
-    def _transitions(self, state):
+    def _transitions(
+        self, state: Tuple[int, int]
+    ) -> Iterator[Tuple[Tuple[int, int], float]]:
         a, p = state
         cfg = self.config
         if p < cfg.max_probing:
@@ -132,7 +134,9 @@ class FluidThrashingModel:
 
     def solve(self) -> FluidPoint:
         cfg = self.config
-        chain = MarkovChain((0, 0), self._transitions)
+        chain: MarkovChain[Tuple[int, int]] = MarkovChain(
+            (0, 0), self._transitions
+        )
         pi = chain.stationary_distribution()
         capacity = float(cfg.capacity_flows)
 
@@ -173,7 +177,7 @@ def figure1_series(
     config: FluidModelConfig = FluidModelConfig(),
 ) -> List[FluidPoint]:
     """Figure 1: utilization and in-band loss vs mean probe duration."""
-    points = []
+    points: List[FluidPoint] = []
     for duration in probe_durations:
         model = FluidThrashingModel(replace(config, probe_duration=float(duration)))
         points.append(model.solve())

@@ -1,0 +1,132 @@
+"""Committed baseline for grandfathered cross-module findings.
+
+``lint_baseline.json`` (checked in at the repo root) lists findings that
+predate a rule and are accepted until someone pays down the debt.  An
+entry matches on ``(path, code, symbol)`` — the function qualname, not
+the line number — so routine edits that shift lines do not resurrect a
+baselined finding, while *moving* the offending code to another function
+or file correctly un-baselines it.
+
+The file is intentionally humble JSON so diffs review well::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "src/repro/x.py", "code": "XMOD002",
+         "symbol": "repro.x.Thing.method"}
+      ]
+    }
+
+``--write-baseline`` regenerates it from the current findings (sorted,
+stable), which is also how a rule rollout starts: land the rule with the
+debt recorded, then shrink the file over time.  An entry that no longer
+matches anything is *stale*; the runner reports stale entries so the file
+cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.base import Finding
+
+#: Schema marker for the committed file.
+BASELINE_VERSION = 1
+
+#: Conventional filename, resolved against the current directory by the CLI.
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    path: str
+    code: str
+    symbol: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.code, self.symbol)
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def _finding_key(finding: Finding) -> Tuple[str, str, str]:
+    symbol = getattr(finding, "symbol", "") or ""
+    return (finding.path, finding.code, symbol)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("findings", []):
+        try:
+            entries.append(BaselineEntry(
+                path=raw["path"], code=raw["code"], symbol=raw["symbol"],
+            ))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path} has a malformed entry: {raw!r}"
+            ) from exc
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Iterable[BaselineEntry],
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Split findings into (unbaselined, stale-entries).
+
+    A baseline entry suppresses *every* finding it matches (one symbol
+    can trip one rule at several sites; they are the same debt).  Entries
+    matching nothing are returned as stale so callers can surface them.
+    """
+    entry_set: Set[Tuple[str, str, str]] = {entry.key for entry in entries}
+    matched: Set[Tuple[str, str, str]] = set()
+    surviving: List[Finding] = []
+    for finding in findings:
+        key = _finding_key(finding)
+        if key in entry_set:
+            matched.add(key)
+        else:
+            surviving.append(finding)
+    stale = sorted(
+        {entry for entry in entries if entry.key not in matched},
+        key=lambda entry: entry.key,
+    )
+    return surviving, stale
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize the baseline that would suppress ``findings`` exactly."""
+    keys = sorted({_finding_key(finding) for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path, "code": code, "symbol": symbol}
+            for path, code, symbol in keys
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write (or rewrite) the baseline file for the given findings."""
+    path.write_text(render_baseline(findings), encoding="utf-8")

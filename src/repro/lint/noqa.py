@@ -16,15 +16,21 @@ never *hides* the control: waivers remain grep-able.
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, Optional
+import tokenize
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+# One letter is enough for a code prefix: flake8's own codes are ``F401``
+# shaped, and treating ``# noqa: F401`` as a *blanket* waiver (which the
+# old two-letter minimum silently did) would suppress every repro.lint
+# rule on lines that only meant to quiet an import warning.
 _NOQA_RE = re.compile(
-    r"#\s*noqa(?::\s*(?P<codes>[A-Z]{2,10}\d{2,4}(?:[,\s]+[A-Z]{2,10}\d{2,4})*))?",
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]{1,10}\d{2,4}(?:[,\s]+[A-Z]{1,10}\d{2,4})*))?",
     re.IGNORECASE,
 )
 
-#: line -> None for a blanket ``# noqa``, or the set of suppressed codes.
+#: line -> None for a blanket suppression, or the set of suppressed codes.
 NoqaMap = Dict[int, Optional[FrozenSet[str]]]
 
 
@@ -53,3 +59,45 @@ def is_suppressed(mapping: NoqaMap, line: int, code: str) -> bool:
         return False
     codes = mapping[line]
     return codes is None or code.upper() in codes
+
+
+def comment_waivers(
+    source: str,
+    codes: Optional[FrozenSet[str]] = None,
+) -> List[Tuple[int, str]]:
+    """Every *real* ``# noqa`` comment in a module, as ``(line, text)``.
+
+    Unlike :func:`noqa_map`'s fast textual scan, this walks the token
+    stream, so ``noqa`` spelled inside a string literal or docstring (the
+    lint rules' own hint strings mention ``# noqa: DET001`` as advice!)
+    does not count.  With ``codes`` given, only waivers that could
+    suppress one of those codes are reported: blanket waivers always
+    count, code-listing waivers only when they name one of ``codes`` —
+    a ``# noqa: F401`` aimed at flake8 is not a waiver of *this*
+    linter's rules.  This is the waiver-*audit* primitive behind the
+    policy test asserting zero waivers under ``src/``.
+    """
+    waivers: List[Tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            listed = match.group("codes")
+            if codes is not None and listed is not None:
+                named = {
+                    code.strip().upper()
+                    for code in re.split(r"[,\s]+", listed)
+                    if code.strip()
+                }
+                if not named & codes:
+                    continue
+            waivers.append((token.start[0], token.string.strip()))
+    except (tokenize.TokenError, IndentationError):
+        # An untokenizable file cannot hide a waiver from the per-module
+        # runner either (it fails to parse there too); report nothing.
+        pass
+    return waivers

@@ -7,12 +7,15 @@ code can say "put 20 TCP flows through this link" in a few lines.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.net.sink import Sink
 from repro.sim.engine import Simulator
 from repro.tcp.reno import TcpReceiver, TcpRenoSender
 from repro.units import BITS_PER_BYTE
+
+if TYPE_CHECKING:
+    from repro.net.link import OutputPort
 
 
 class TcpConnection:
@@ -33,8 +36,8 @@ class TcpConnection:
     def __init__(
         self,
         sim: Simulator,
-        forward_route: List,
-        reverse_route: List,
+        forward_route: List["OutputPort"],
+        reverse_route: List["OutputPort"],
         mss_bytes: int = 1000,
         flow_id: int = 0,
     ) -> None:

@@ -21,12 +21,15 @@ delayed ACKs, no SACK.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.net.packet import ACK, BEST_EFFORT, FlowAccounting, Packet
+from repro.net.packet import ACK, BEST_EFFORT, FlowAccounting, Packet, Receiver
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
+
+if TYPE_CHECKING:
+    from repro.net.link import OutputPort
 
 #: TCP acknowledgement size on the wire (bytes).
 ACK_BYTES = 40
@@ -45,12 +48,14 @@ class TcpReceiver:
     so losses manifest as duplicate ACKs at the sender.
     """
 
-    def __init__(self, sim: Simulator, ack_route: List, ack_sink) -> None:
+    def __init__(
+        self, sim: Simulator, ack_route: List["OutputPort"], ack_sink: Receiver
+    ) -> None:
         self.sim = sim
         self.ack_route = ack_route
         self.ack_sink = ack_sink
         self.next_expected = 0
-        self._out_of_order: set = set()
+        self._out_of_order: Set[int] = set()
         self.flow = FlowAccounting(-1)
         self.segments_received = 0
 
@@ -97,8 +102,8 @@ class TcpRenoSender:
     def __init__(
         self,
         sim: Simulator,
-        route: List,
-        data_sink,
+        route: List["OutputPort"],
+        data_sink: Receiver,
         mss_bytes: int = 1000,
         initial_ssthresh: float = 64.0,
         flow_id: int = 0,
@@ -125,7 +130,7 @@ class TcpRenoSender:
         self.rttvar = 0.0
         self.rto = INITIAL_RTO
         self._send_times: Dict[int, float] = {}
-        self._retransmitted: set = set()
+        self._retransmitted: Set[int] = set()
 
         self._timer = Timer(sim, self._on_timeout)
         self.running = False

@@ -1,0 +1,15 @@
+"""Hermetic worker task: builds its own engine (no XMOD001)."""
+
+from pkg.engine import Simulator
+
+__worker_entry_points__ = ("compute",)
+
+
+def compute(task):
+    sim = Simulator()
+    sim.schedule(0.0, _record, task)  # fine: run-local engine
+    return len(sim.events)
+
+
+def _record(task):
+    return task

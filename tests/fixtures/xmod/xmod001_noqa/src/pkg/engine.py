@@ -1,0 +1,10 @@
+"""Minimal event engine for the fixture."""
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events = []
+
+    def schedule(self, delay, fn, *args) -> None:
+        self.events.append((self.now + delay, fn, args))

@@ -1,0 +1,16 @@
+"""The XMOD001 violation, waived in code with ``# noqa``."""
+
+from pkg.engine import Simulator
+
+SIM = Simulator()
+
+__worker_entry_points__ = ("compute",)
+
+
+def compute(task):
+    SIM.schedule(0.0, _record, task)  # noqa: XMOD001
+    return task
+
+
+def _record(task):
+    return task

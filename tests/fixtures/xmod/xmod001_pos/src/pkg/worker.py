@@ -1,0 +1,24 @@
+"""Worker task that leaks onto shared engine state (XMOD001 x2)."""
+
+from pkg.engine import Simulator
+
+SIM = Simulator()
+
+__worker_entry_points__ = ("compute",)
+
+_total = 0
+
+
+def compute(task):
+    SIM.schedule(0.0, _record, task)  # violation: module-global engine
+    return _tally(task)
+
+
+def _tally(task):
+    global _total
+    _total = _total + task  # violation: global write in worker context
+    return _total
+
+
+def _record(task):
+    return task

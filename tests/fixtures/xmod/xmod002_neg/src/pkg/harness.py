@@ -1,0 +1,7 @@
+"""Sweep-harness side: owns its own label (no XMOD002)."""
+
+from pkg.streams import RandomStreams
+
+
+def precompute(streams: RandomStreams):
+    return streams.get("noise-harness").random()

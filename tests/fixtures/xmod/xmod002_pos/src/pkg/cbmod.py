@@ -1,0 +1,11 @@
+"""Sim-callback side: draws from the shared ``noise`` stream (XMOD002)."""
+
+from pkg.streams import RandomStreams
+
+
+def register(sim, streams: RandomStreams) -> None:
+    sim.schedule(0.0, _tick, streams)
+
+
+def _tick(streams: RandomStreams):
+    return streams.get("noise").random()

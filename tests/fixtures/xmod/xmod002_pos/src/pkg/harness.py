@@ -1,0 +1,9 @@
+"""Sweep-harness side: pre-draws from the shared ``noise`` stream."""
+
+from pkg.streams import RandomStreams
+
+
+def precompute(streams: RandomStreams):
+    # Draws from the same memoized generator the sim callback uses —
+    # the interleaving of the two consumers decides every later draw.
+    return streams.get("noise").random()

@@ -1,0 +1,12 @@
+"""Label-memoizing stream family, shaped like ``repro.sim.rng``."""
+
+
+class RandomStreams:
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._generators = {}
+
+    def get(self, label: str):
+        if label not in self._generators:
+            self._generators[label] = object()  # stands in for a Generator
+        return self._generators[label]

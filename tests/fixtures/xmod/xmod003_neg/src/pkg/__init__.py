@@ -1,0 +1,1 @@
+"""Fixture package for the cross-module lint tests."""

@@ -1,0 +1,11 @@
+"""Sim callback calling a pure helper (no XMOD003)."""
+
+from pkg import helpers
+
+
+def register(sim) -> None:
+    sim.schedule(0.0, _tick)
+
+
+def _tick():
+    return helpers.stamp()

@@ -1,0 +1,5 @@
+"""Pure helper: no ambient state anywhere below it."""
+
+
+def stamp():
+    return 0.0

@@ -1,0 +1,10 @@
+"""Handler that re-raises after cleanup (no XMOD004)."""
+
+from pkg import cbmod
+
+
+def setup(sim):
+    try:
+        cbmod.register(sim)
+    except Exception as exc:
+        raise RuntimeError("registration failed") from exc

@@ -1,0 +1,9 @@
+"""Scheduling module: registration puts events on the calendar."""
+
+
+def register(sim) -> None:
+    sim.schedule(0.0, _tick)
+
+
+def _tick():
+    return None

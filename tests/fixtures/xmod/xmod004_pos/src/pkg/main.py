@@ -1,0 +1,10 @@
+"""Broad handler swallowing a cross-module scheduling call (XMOD004)."""
+
+from pkg import cbmod
+
+
+def setup(sim):
+    try:
+        cbmod.register(sim)
+    except Exception:
+        pass  # violation: failed event registration vanishes silently

@@ -137,11 +137,11 @@ def test_chain_interleaves_with_head_lane(sim):
 
 def test_chain_validation_rejects_bad_delays(sim):
     with pytest.raises(SimulationError):
-        sim.call_chained(-1.0, lambda: None)
+        sim.call_chained(-1.0, lambda: None)  # noqa: SIM001 — rejection under test
     with pytest.raises(SimulationError):
-        sim.call_chained(math.nan, lambda: None)
+        sim.call_chained(math.nan, lambda: None)  # noqa: SIM001 — rejection under test
     with pytest.raises(SimulationError):
-        sim.call_chained(math.inf, lambda: None)
+        sim.call_chained(math.inf, lambda: None)  # noqa: SIM001 — rejection under test
     assert sim.pending == 0
 
 
