@@ -27,7 +27,7 @@ from repro.core.endpoint import EndpointAgent, FlowOutcome
 from repro.net.packet import FlowAccounting
 from repro.net.sink import Sink
 from repro.net.topology import Network
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, TraceSink
 from repro.sim.rng import RandomStreams
 from repro.traffic.flowgen import FlowRequest
 
@@ -58,6 +58,7 @@ class ClassStats:
 
     @property
     def blocked(self) -> int:
+        """Flows denied admission (offered minus admitted)."""
         return self.offered - self.admitted
 
     @property
@@ -84,6 +85,7 @@ class ClassStats:
         counters: Mapping[str, int],
         baseline: Optional[Mapping[str, int]] = None,
     ) -> None:
+        """Accumulate packet counters, optionally net of a ``baseline``."""
         for name in _COUNTER_FIELDS:
             value = counters[name]
             if baseline is not None:
@@ -91,12 +93,14 @@ class ClassStats:
             setattr(self, name, getattr(self, name) + value)
 
     def merge(self, other: "ClassStats") -> None:
+        """Fold another class's decision and packet counters into this one."""
         self.offered += other.offered
         self.admitted += other.admitted
         for name in _DECISION_FIELDS + _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> Dict[str, Any]:
+        """All counters and derived probabilities as one plain dict."""
         out: Dict[str, Any] = {name: getattr(self, name) for name in _COUNTER_FIELDS}
         out.update(
             offered=self.offered,
@@ -125,6 +129,9 @@ class ControllerBase:
         self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0, 0, 0])
         self.measuring = False
         self.measure_start = 0.0
+        #: Optional event-trace sink (repro.obs); the runner installs it
+        #: and subclasses hand it to the agents/estimators they build.
+        self.trace: Optional[TraceSink] = None
 
     # -- subclass interface -------------------------------------------------
 
@@ -264,6 +271,7 @@ class EndpointAdmissionControl(ControllerBase):
         agent = EndpointAgent(
             self.sim, request, self.design, route, self.sink,
             self._source_rng, self._record_decision, self._record_complete,
+            trace=self.trace,
         )
         agent.begin()
 

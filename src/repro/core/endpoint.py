@@ -38,7 +38,7 @@ from repro.core.design import (
 )
 from repro.net.link import OutputPort
 from repro.net.packet import PROBE, FlowAccounting, Receiver
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventHandle, Simulator, TraceSink
 from repro.traffic.base import Source
 from repro.traffic.cbr import ConstantRateSource
 from repro.traffic.flowgen import FlowRequest
@@ -89,6 +89,7 @@ class EndpointAgent:
         data_rng: np.random.Generator,
         on_decision: Callable[[FlowOutcome], None],
         on_complete: Callable[[FlowOutcome], None],
+        trace: Optional[TraceSink] = None,
     ) -> None:
         self.sim = sim
         self.request = request
@@ -98,6 +99,7 @@ class EndpointAgent:
         self.data_rng = data_rng
         self.on_decision = on_decision
         self.on_complete = on_complete
+        self.trace = trace
 
         cls_eps = request.cls.epsilon
         self.epsilon = design.epsilon if cls_eps is None else cls_eps
@@ -205,6 +207,11 @@ class EndpointAgent:
 
     def begin(self) -> None:
         """Start probing (called once, at flow arrival)."""
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="start",
+                    flow=self.request.flow_id, label=self.request.label,
+                    rate_bps=self._rates[0], epsilon=self.epsilon)
         renege = self.design.renege_time
         if renege is not None:
             self._renege_handle = self.sim.schedule(renege, self._renege)
@@ -241,6 +248,11 @@ class EndpointAgent:
 
     def _attempt_failed(self) -> None:
         """A full deadline passed with no feedback: back off or give up."""
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="stall",
+                    flow=self.request.flow_id, attempt=self._attempt,
+                    feedback=self._watch_feedback)
         self._probe_source.stop()
         if self._checkpoint is not None:
             self._checkpoint.cancel()
@@ -259,6 +271,10 @@ class EndpointAgent:
     def _retry(self) -> None:
         if self._decided:
             return
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="retry",
+                    flow=self.request.flow_id, attempt=self._attempt)
         self._setup_attempt()
         self._start_attempt()
 
@@ -270,6 +286,10 @@ class EndpointAgent:
         """Hard deadline from arrival: the user walks away."""
         if self._decided:
             return
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="renege",
+                    flow=self.request.flow_id, attempt=self._attempt)
         self._renege_handle = None
         self.outcome.timed_out = True
         self._reject()
@@ -336,15 +356,28 @@ class EndpointAgent:
 
     def _reject(self) -> None:
         self._settle()
-        self.outcome.admitted = False
-        self.outcome.end_time = self.sim.now
-        self.on_decision(self.outcome)
-        self.on_complete(self.outcome)
+        outcome = self.outcome
+        outcome.admitted = False
+        outcome.end_time = self.sim.now
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="reject",
+                    flow=outcome.flow_id, fraction=outcome.probe_fraction,
+                    sent=outcome.probe.get("sent", 0),
+                    retries=outcome.retries, timed_out=outcome.timed_out)
+        self.on_decision(outcome)
+        self.on_complete(outcome)
 
     def _admit(self, fraction: float) -> None:
         self._settle()
         outcome = self.outcome
         outcome.admitted = True
+        tr = self.trace
+        if tr is not None:
+            tr.emit("probe", self.sim.now, event="admit",
+                    flow=outcome.flow_id, fraction=fraction,
+                    sent=outcome.probe.get("sent", 0),
+                    retries=outcome.retries)
         data_flow = FlowAccounting(self.request.flow_id)
         outcome.data = data_flow
         self.data_source = self.request.spec.build(

@@ -45,7 +45,7 @@ from repro.experiments.runner import (
 )
 
 #: Bump when the on-disk payload layout changes; old entries are evicted.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _MEMO: Dict[Tuple[ScenarioConfig, ControllerSpec], ScenarioResult] = {}
 

@@ -11,16 +11,23 @@ The ``figure`` subcommand accepts any experiment name from DESIGN.md's
 index (figure1..figure9, figure11, table3..table6) and prints the
 regenerated rows/series.  ``run`` and ``figure`` share the execution
 flags ``--jobs N`` (worker processes; 0 = one per CPU), ``--cache-dir``
-(the persistent result cache, default ``results/cache``) and
-``--no-cache`` (disable the disk tier); per-run progress goes to stderr
-so piped figure output stays clean.
+(the persistent result cache, default ``results/cache``), ``--no-cache``
+(disable the disk tier), ``--task-timeout`` and ``--profile``
+(per-callback wall-time summary); ``run`` additionally takes
+``--trace PATH`` / ``--metrics PATH`` / ``--trace-sample CAT=N`` to dump
+a deterministic repro.obs event trace and metrics snapshot (inspect with
+``python -m repro.obs``).  Per-run progress goes to stderr so piped
+figure output stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from repro.core.design import (
     CongestionSignal,
@@ -33,6 +40,7 @@ from repro.errors import ReproError
 from repro.experiments import cache, figures, parallel
 from repro.experiments.runner import MbacConfig
 from repro.experiments.scenarios import SCENARIOS, get_scenario
+from repro.obs import ObsConfig
 
 #: Default directory of the persistent result cache (``--cache-dir``).
 DEFAULT_CACHE_DIR = "results/cache"
@@ -93,15 +101,53 @@ def _apply_execution_options(args: argparse.Namespace) -> parallel.ProgressTrack
     """
     parallel.set_jobs(args.jobs)
     parallel.set_task_timeout(getattr(args, "task_timeout", None))
+    parallel.set_profile(bool(getattr(args, "profile", False)))
     cache.set_cache_dir(None if args.no_cache else args.cache_dir)
     tracker = parallel.stderr_tracker()
     parallel.set_progress(tracker)
     return tracker
 
 
+def _parse_samples(values: Optional[List[str]]) -> Tuple[Tuple[str, int], ...]:
+    """Parse repeated ``--trace-sample CAT=N`` flags into ObsConfig pairs."""
+    if not values:
+        return ()
+    pairs: List[Tuple[str, int]] = []
+    for value in values:
+        category, sep, count = value.partition("=")
+        if not sep or not category:
+            raise ReproError(
+                f"bad --trace-sample {value!r} (want CATEGORY=N, e.g. tx=100)"
+            )
+        try:
+            every = int(count)
+        except ValueError:
+            raise ReproError(
+                f"bad --trace-sample {value!r}: {count!r} is not an integer"
+            ) from None
+        pairs.append((category, every))
+    return tuple(pairs)
+
+
+def _obs_config(args: argparse.Namespace) -> Optional[ObsConfig]:
+    """The ObsConfig the run subcommand's flags describe (None when off)."""
+    want_trace = args.trace is not None
+    want_metrics = args.metrics is not None
+    if not want_trace and not want_metrics:
+        return None
+    return ObsConfig(
+        metrics=want_metrics,
+        trace=want_trace,
+        sample_every=_parse_samples(args.trace_sample),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    _apply_execution_options(args)
+    tracker = _apply_execution_options(args)
     config = get_scenario(args.scenario).config(args.scale, seed=args.seed)
+    obs_config = _obs_config(args)
+    if obs_config is not None:
+        config = replace(config, obs=obs_config)
     if args.mbac is not None:
         spec = MbacConfig(target_utilization=args.mbac)
     elif args.design is not None:
@@ -109,6 +155,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         spec = None
     result = parallel.run_many([(config, spec)])[0]
+    if args.trace is not None:
+        lines = result.trace or []
+        Path(args.trace).write_text("\n".join(lines) + ("\n" if lines else ""))
+        print(f"trace      : {len(lines)} records -> {args.trace}",
+              file=sys.stderr)
+    if args.metrics is not None:
+        Path(args.metrics).write_text(json.dumps(
+            result.metrics or {}, sort_keys=True, separators=(",", ":"),
+        ) + "\n")
+        print(f"metrics    : -> {args.metrics}", file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(tracker.summary(), file=sys.stderr)
     print(f"controller : {result.controller_name}")
     print(f"utilization: {result.utilization:.4f}")
     print(f"loss prob  : {result.loss_probability:.3e}")
@@ -137,6 +195,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-eac`` argument parser (list/run/figure)."""
     parser = argparse.ArgumentParser(
         prog="repro-eac",
         description="Endpoint admission control (SIGCOMM 2000) reproduction",
@@ -158,10 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="no-progress deadline (seconds) before a "
                             "parallel sweep presumes hung workers and "
                             "recycles the pool (default: wait forever)")
+        p.add_argument("--profile", action="store_true",
+                       help="profile per-callback wall time in fresh runs "
+                            "and print the top callbacks in the summary")
 
     run_p = sub.add_parser("run", help="run one scenario under one controller")
     add_execution_flags(run_p)
     run_p.add_argument("scenario", help="scenario name (see 'list')")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="record a deterministic event trace "
+                            "(repro.obs JSONL) to PATH")
+    run_p.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the run's metrics snapshot "
+                            "(repro.obs JSON) to PATH")
+    run_p.add_argument("--trace-sample", action="append", metavar="CAT=N",
+                       help="keep every N-th trace record of a category "
+                            "(repeatable; e.g. --trace-sample tx=100)")
     run_p.add_argument("--design", help="signal/band, e.g. drop/in-band")
     run_p.add_argument("--probing", default="slow-start",
                        help="simple | early-reject | slow-start")
@@ -181,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "figure": _cmd_figure}
     try:

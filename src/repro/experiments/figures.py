@@ -487,9 +487,9 @@ def table4(scale: Optional[float] = None) -> FigureResult:
 # Tables 5-6 — multi-hop topology
 # ---------------------------------------------------------------------------
 
-#: Flow classes of the Figure-10 topology: one three-hop class and one
-#: single-hop cross class per backbone link.
 def multihop_classes() -> Tuple[FlowClass, ...]:
+    """Flow classes of the Figure-10 topology: one three-hop class and
+    one single-hop cross class per backbone link."""
     spec = get_source_spec("EXP1")
     classes = [FlowClass(label="long", spec=spec, src="b0", dst="b3")]
     for i in range(3):

@@ -49,10 +49,12 @@ class LossLoadCurve:
 
     @property
     def utilizations(self) -> List[float]:
+        """The curve's y-axis: utilization per load point."""
         return [p.utilization for p in self.points]
 
     @property
     def losses(self) -> List[float]:
+        """The curve's x-axis: post-warm-up loss per load point."""
         return [p.loss_probability for p in self.points]
 
     def loss_range(self) -> Tuple[float, float]:

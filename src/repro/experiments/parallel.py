@@ -68,6 +68,12 @@ from typing import (
 from repro.errors import ConfigurationError, SweepTaskError, SweepWorkerError
 from repro.experiments import cache
 from repro.experiments.report import format_progress, format_sweep_summary
+from repro.obs.profile import (
+    CallbackProfile,
+    ProfileRow,
+    format_rows,
+    merge_rows,
+)
 from repro.experiments.runner import (
     ControllerSpec,
     ReplicatedResult,
@@ -108,6 +114,11 @@ class RunEvent:
     seconds: float
     source: str
     error: str = ""
+    #: Per-callback wall-time rows (qualname, seconds, calls) when
+    #: :func:`set_profile` is on and the event is a fresh ``"run"``;
+    #: empty otherwise.  Profiles are wall-clock and nondeterministic,
+    #: which is why they ride here and never in a cached result.
+    profile: Tuple[ProfileRow, ...] = ()
 
 
 ProgressCallback = Callable[[RunEvent], None]
@@ -119,6 +130,11 @@ _configured_task_timeout: Optional[float] = None
 #: Installed in the parent before the pool spawns, it reaches workers via
 #: fork — a hook that crashes the process exercises the recovery path.
 _task_hook: Optional[Callable[[RunTask], None]] = None
+#: When True, ``_compute`` attaches a per-callback wall-time profiler to
+#: each run's engine and ships the snapshot back in the RunEvent.  Like
+#: the task hook it must be set before the pool spawns (workers inherit
+#: it via fork).
+_profile_enabled = False
 
 #: Per-task resubmission budget after worker crashes or stalls.
 DEFAULT_TASK_RETRIES = 2
@@ -160,6 +176,19 @@ def set_task_timeout(seconds: Optional[float]) -> None:
     _configured_task_timeout = seconds
 
 
+def set_profile(enabled: bool) -> None:
+    """Turn per-callback wall-time profiling of sweep runs on or off.
+
+    The CLI's ``--profile`` flag calls this.  Profiling swaps the engine
+    onto a clock-sampling dispatch loop (see
+    :meth:`repro.sim.engine.Simulator.enable_profiling`), so fresh runs
+    get slower; cached results are unaffected (and carry no profile).
+    Set it *before* a sweep starts so forked workers inherit it.
+    """
+    global _profile_enabled
+    _profile_enabled = bool(enabled)
+
+
 def set_task_hook(hook: Optional[Callable[[RunTask], None]]) -> None:
     """Install the per-task worker hook (``None`` to remove it).
 
@@ -191,14 +220,22 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _compute(task: RunTask) -> Tuple[ScenarioResult, float]:
-    """Worker entry point: run one task, timing it (picklable top-level)."""
+def _compute(task: RunTask) -> Tuple[ScenarioResult, float, Tuple[ProfileRow, ...]]:
+    """Worker entry point: run one task, timing it (picklable top-level).
+
+    The clock injection happens here: this module is on the DET002/XMOD003
+    exemption list, so it may hand ``time.perf_counter`` to the profile;
+    the engine itself never imports :mod:`time`.
+    """
     hook = _task_hook
     if hook is not None:
         hook(task)
+    profile = CallbackProfile(time.perf_counter) if _profile_enabled else None
     start = time.perf_counter()
-    result = run_scenario(task[0], task[1])
-    return result, time.perf_counter() - start
+    result = run_scenario(task[0], task[1], profile=profile)
+    seconds = time.perf_counter() - start
+    rows = profile.snapshot() if profile is not None else ()
+    return result, seconds, rows
 
 
 def _emit(
@@ -209,6 +246,7 @@ def _emit(
     seconds: float,
     source: str,
     error: str = "",
+    profile: Tuple[ProfileRow, ...] = (),
 ) -> None:
     if progress is not None:
         progress(RunEvent(
@@ -219,6 +257,7 @@ def _emit(
             seconds=seconds,
             source=source,
             error=error,
+            profile=profile,
         ))
 
 
@@ -304,11 +343,11 @@ def iter_run_results(
         if result is None:
             task = task_list[i]
             try:
-                result, seconds = _compute(task)
+                result, seconds, rows = _compute(task)
             except Exception as exc:
                 raise _task_error(progress, i, total, task, exc) from exc
             cache.store(task[0], task[1], result)
-            _emit(progress, i, total, task, seconds, "run")
+            _emit(progress, i, total, task, seconds, "run", profile=rows)
         yield result
 
 
@@ -323,11 +362,11 @@ def _serial_fill(
     for i in indices:
         task = task_list[i]
         try:
-            result, seconds = _compute(task)
+            result, seconds, rows = _compute(task)
         except Exception as exc:
             raise _task_error(progress, i, total, task, exc) from exc
         cache.store(task[0], task[1], result)
-        _emit(progress, i, total, task, seconds, "run")
+        _emit(progress, i, total, task, seconds, "run", profile=rows)
         ready[i] = result
 
 
@@ -392,14 +431,14 @@ def _pool_results(
                     i = futures[future]
                     task = task_list[i]
                     try:
-                        result, seconds = future.result()
+                        result, seconds, rows = future.result()
                     except BrokenExecutor:
                         broken = True
                         continue  # keep harvesting this batch's successes
                     except Exception as exc:
                         raise _task_error(progress, i, total, task, exc) from exc
                     cache.store(task[0], task[1], result)
-                    _emit(progress, i, total, task, seconds, "run")
+                    _emit(progress, i, total, task, seconds, "run", profile=rows)
                     ready[i] = result
                 while next_index < total and next_index in ready:
                     yield ready.pop(next_index)
@@ -520,12 +559,16 @@ class ProgressTracker:
         self.failures = 0
         self.retries = 0
         self.run_seconds = 0.0
+        #: Per-callback wall time folded from every profiled RunEvent.
+        self.profile: Dict[str, Tuple[float, int]] = {}
         self._started = time.perf_counter()
 
     def __call__(self, event: RunEvent) -> None:
         if event.source == "run":
             self.computed += 1
             self.run_seconds += event.seconds
+            if event.profile:
+                merge_rows(self.profile, event.profile)
         elif event.source == "memo":
             self.memo_hits += 1
         elif event.source == "disk":
@@ -554,6 +597,8 @@ class ProgressTracker:
         )
         if self.retries or self.failures:
             line += f" ({self.retries} retries, {self.failures} failures)"
+        if self.profile:
+            line += f"\nprofile (top callbacks): {format_rows(self.profile)}"
         return line
 
 

@@ -26,7 +26,11 @@ from repro.faults import FaultConfig, install_faults
 from repro.mbac.measured_sum import MeasuredSumController
 from repro.net.queues import DropTailFifo
 from repro.net.topology import Network, parking_lot, single_link
-from repro.sim.engine import Simulator
+from repro.obs.collect import collect_run
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.sim.engine import ProfileSink, Simulator
 from repro.sim.rng import RandomStreams
 from repro.traffic.catalog import get_source_spec
 from repro.traffic.flowgen import FlowClass, FlowGenerator, FlowRequest
@@ -46,6 +50,7 @@ class MbacConfig:
 
     @property
     def name(self) -> str:
+        """Controller name recorded into results (mirrors designs)."""
         return f"mbac(u={self.target_utilization:g})"
 
 
@@ -80,6 +85,10 @@ class ScenarioConfig:
     #: Optional deterministic fault-injection plan (repro.faults); the
     #: frozen FaultConfig nests cleanly in cache keys and task pickles.
     faults: Optional[FaultConfig] = None
+    #: Optional observability plan (repro.obs).  Like ``faults`` it is a
+    #: frozen dataclass, so it participates in cache keys: a traced run
+    #: and an untraced run are different cache entries by construction.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration <= self.warmup:
@@ -102,6 +111,7 @@ class ScenarioConfig:
         return [FlowClass(label=spec.name, spec=spec)]
 
     def with_seed(self, seed: int) -> "ScenarioConfig":
+        """A copy of this config under a different RNG seed."""
         return replace(self, seed=seed)
 
 
@@ -129,9 +139,16 @@ class ScenarioResult:
     probe_retries: int = 0
     #: Fault-schedule events applied during the run (0 without faults).
     fault_events: int = 0
+    #: Canonical JSONL trace lines (repro.obs), or None when untraced.
+    #: Pre-serialized strings so byte-identity survives the JSON disk
+    #: cache round-trip untouched.
+    trace: Optional[List[str]] = None
+    #: Canonical metrics snapshot (repro.obs), or None when disabled.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def blocked(self) -> int:
+        """Flows denied admission (offered minus admitted)."""
         return self.offered - self.admitted
 
 
@@ -205,14 +222,27 @@ def _prefill(
 def run_scenario(
     config: ScenarioConfig,
     design: ControllerSpec = None,
+    profile: Optional[ProfileSink] = None,
 ) -> ScenarioResult:
     """Run one scenario under one admission controller.
 
     ``design`` may be an :class:`EndpointDesign`, an :class:`MbacConfig`,
-    or ``None`` (no admission control).
+    or ``None`` (no admission control).  ``profile`` installs a
+    per-callback wall-time profiler on the engine; it must come from
+    harness code with an injected clock (see
+    :class:`repro.sim.engine.ProfileSink`) and its results never enter
+    the returned (cacheable) result.
     """
     sim = Simulator()
     streams = RandomStreams(config.seed)
+    if profile is not None:
+        sim.enable_profiling(profile)
+
+    obs = config.obs
+    recorder: Optional[TraceRecorder] = None
+    if obs is not None and obs.trace:
+        recorder = TraceRecorder(obs)
+        sim.trace = recorder
 
     if isinstance(design, EndpointDesign):
         qdisc_factory = design.qdisc_factory(config.link_rate_bps, config.buffer_packets)
@@ -231,13 +261,19 @@ def run_scenario(
             backbone_links=config.backbone_links,
         )
 
+    if recorder is not None:
+        for port in network.ports():
+            port.trace = recorder
+
     fault_schedule = None
     if config.faults is not None and config.faults.any_enabled:
         fault_schedule = install_faults(
-            sim, streams, config.faults, congested, config.duration
+            sim, streams, config.faults, congested, config.duration,
+            trace=recorder,
         )
 
     controller = build_controller(sim, network, streams, design)
+    controller.trace = recorder
     classes = config.resolve_classes()
     generator = FlowGenerator(
         sim, streams, classes, config.interarrival,
@@ -271,6 +307,13 @@ def run_scenario(
         if elapsed > 0:
             probe_util = port.stats.probe_bytes * 8 / (port.rate_bps * elapsed)
 
+    metrics: Optional[Dict[str, Any]] = None
+    if obs is not None and obs.metrics:
+        registry = MetricsRegistry()
+        collect_run(registry, sim, list(network.ports()), controller,
+                    schedule=fault_schedule, recorder=recorder)
+        metrics = registry.to_dict()
+
     return ScenarioResult(
         controller_name=_controller_name(design),
         seed=config.seed,
@@ -288,6 +331,8 @@ def run_scenario(
         timed_out=totals.timed_out,
         probe_retries=totals.retries,
         fault_events=fault_schedule.applied if fault_schedule is not None else 0,
+        trace=recorder.lines() if recorder is not None else None,
+        metrics=metrics,
     )
 
 
@@ -315,6 +360,7 @@ class ReplicatedResult:
 
     @property
     def seeds(self) -> List[int]:
+        """The seeds replicated over, whether or not runs were kept."""
         if self.seeds_used:
             return list(self.seeds_used)
         return [r.seed for r in self.runs]

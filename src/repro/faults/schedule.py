@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.faults.model import FaultConfig, FaultEvent, GilbertElliottModel
 from repro.net.link import OutputPort
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, TraceSink
 from repro.sim.rng import RandomStreams
 
 #: (start-action, end-action) per fault family, in generation order.
@@ -66,6 +66,9 @@ class FaultSchedule:
         self.horizon = horizon
         self.port_names = tuple(port_names)
         self.applied = 0
+        #: Optional event-trace sink (repro.obs).  Named ``trace_sink``
+        #: because :meth:`trace` is the pre-generated event accessor.
+        self.trace_sink: Optional[TraceSink] = None
         # Derive every stream this schedule will ever use up front and
         # drop the family reference: the object's RNG footprint is fixed
         # at construction, so no later call (install, re-install) can
@@ -143,6 +146,10 @@ class FaultSchedule:
             assert model is not None
             model.deactivate()
         self.applied += 1
+        tr = self.trace_sink
+        if tr is not None:
+            tr.emit("fault", event.time, event="apply",
+                    port=event.port, action=action)
 
     # -- trace access -----------------------------------------------------
 
@@ -164,15 +171,19 @@ def install_faults(
     config: FaultConfig,
     ports: Sequence[OutputPort],
     horizon: float,
+    trace: Optional[TraceSink] = None,
 ) -> FaultSchedule:
     """Build a schedule over ``ports`` (honoring ``config.target``) and install it.
 
     ``"bottleneck"`` targets only the first port — by convention the
     upstream-most congested link; ``"all"`` targets every port given.
+    ``trace`` attaches an event-trace sink (repro.obs) that records every
+    fault application as it fires.
     """
     selected = list(ports[:1]) if config.target == "bottleneck" else list(ports)
     schedule = FaultSchedule(
         config, streams, horizon, [port.name for port in selected]
     )
+    schedule.trace_sink = trace
     schedule.install(sim, selected)
     return schedule

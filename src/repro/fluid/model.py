@@ -133,6 +133,7 @@ class FluidThrashingModel:
     # -- solution ---------------------------------------------------------------
 
     def solve(self) -> FluidPoint:
+        """Steady-state utilization/blocking of the birth-death chain."""
         cfg = self.config
         chain: MarkovChain[Tuple[int, int]] = MarkovChain(
             (0, 0), self._transitions

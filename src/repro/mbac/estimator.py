@@ -11,11 +11,11 @@ burst of simultaneous requests cannot all be admitted against the same
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.link import OutputPort
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, TraceSink
 from repro.units import BITS_PER_BYTE
 
 
@@ -32,6 +32,9 @@ class TimeWindowEstimator:
         Averaging period ``S`` for one load sample.
     window_samples:
         Number of samples ``T/S`` the maximum is taken over.
+    trace:
+        Optional event-trace sink (repro.obs); every sample emits one
+        ``mbac`` record (decimate via ``ObsConfig.sample_every``).
     """
 
     def __init__(
@@ -40,6 +43,7 @@ class TimeWindowEstimator:
         port: OutputPort,
         sample_period: float = 0.1,
         window_samples: int = 10,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         if sample_period <= 0:
             raise ConfigurationError(
@@ -58,6 +62,7 @@ class TimeWindowEstimator:
         self.estimate_bps = 0.0
         self.samples_taken = 0
         self._running = False
+        self.trace = trace
 
     def start(self) -> None:
         """Begin periodic sampling."""
@@ -68,6 +73,7 @@ class TimeWindowEstimator:
         self.sim.schedule(self.sample_period, self._sample)
 
     def stop(self) -> None:
+        """Stop sampling (the pending timer fires once more, inert)."""
         self._running = False
 
     def _sample(self) -> None:
@@ -82,6 +88,11 @@ class TimeWindowEstimator:
         # admission-time boosts decay once real measurements include the
         # newly admitted flows.
         self.estimate_bps = max(self._window)
+        tr = self.trace
+        if tr is not None:
+            tr.emit("mbac", self.sim.now, event="sample",
+                    port=self.port.name, rate_bps=rate,
+                    estimate_bps=self.estimate_bps, n=self.samples_taken)
         self.sim.schedule(self.sample_period, self._sample)
 
     def admit(self, rate_bps: float) -> None:

@@ -68,11 +68,21 @@ class MeasuredSumController(ControllerBase):
         est = self._estimators.get(port)
         if est is None:
             est = TimeWindowEstimator(
-                self.sim, port, self.sample_period, self.window_samples
+                self.sim, port, self.sample_period, self.window_samples,
+                trace=self.trace,
             )
             est.start()
             self._estimators[port] = est
         return est
+
+    def estimators(self) -> List[TimeWindowEstimator]:
+        """The live per-port estimators, ordered by port name.
+
+        Deterministic ordering for observability harvesting
+        (:mod:`repro.obs.collect`); estimators are created lazily on a
+        port's first reservation request, so the list grows over a run.
+        """
+        return sorted(self._estimators.values(), key=lambda e: e.port.name)
 
     def handle(self, request: FlowRequest) -> None:
         route = self.network.route(request.cls.src, request.cls.dst)
@@ -82,6 +92,10 @@ class MeasuredSumController(ControllerBase):
             est.estimate_bps + rate <= self.target_utilization * est.port.rate_bps
             for est in estimators
         )
+        tr = self.trace
+        if tr is not None:
+            tr.emit("mbac", self.sim.now, event="decision",
+                    flow=request.flow_id, admitted=admitted, rate_bps=rate)
         outcome = FlowOutcome(
             flow_id=request.flow_id,
             label=request.label,

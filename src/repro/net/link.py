@@ -17,7 +17,7 @@ from typing import Callable, Optional, Protocol
 from repro.errors import ConfigurationError
 from repro.net.packet import BEST_EFFORT, DATA, PROBE, Packet
 from repro.net.queues import QueueDiscipline
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, TraceSink
 from repro.units import BITS_PER_BYTE
 
 
@@ -89,7 +89,7 @@ class OutputPort:
 
     __slots__ = ("sim", "rate_bps", "qdisc", "prop_delay", "name", "busy",
                  "stats", "_tx_per_byte", "enabled", "capacity_factor",
-                 "loss_model", "fault_drops")
+                 "loss_model", "fault_drops", "trace")
 
     def __init__(
         self,
@@ -121,6 +121,9 @@ class OutputPort:
         self.capacity_factor = 1.0
         self.loss_model: Optional[LossModel] = None
         self.fault_drops = 0
+        # Optional structural trace sink (repro.obs); ``None`` costs one
+        # attribute check on the paths that would emit, nothing elsewhere.
+        self.trace: Optional[TraceSink] = None
 
     # -- datapath ---------------------------------------------------------
 
@@ -129,6 +132,10 @@ class OutputPort:
         if not self.enabled:
             # Down link: the packet vanishes with no feedback to anyone.
             self.fault_drops += 1
+            tr = self.trace
+            if tr is not None:
+                tr.emit("port", self.sim.now, event="blackhole",
+                        port=self.name, kind=pkt.kind, flow=pkt.flow.flow_id)
             pkt.flow.note_lost()
             pkt.flow.release(pkt)
             return
@@ -137,6 +144,10 @@ class OutputPort:
             # Wire loss during a bursty-loss episode: observable (the
             # receiver-side accounting infers it), unlike a blackhole.
             self.fault_drops += 1
+            tr = self.trace
+            if tr is not None:
+                tr.emit("port", self.sim.now, event="wire-loss",
+                        port=self.name, kind=pkt.kind, flow=pkt.flow.flow_id)
             pkt.flow.note_dropped()
             pkt.flow.release(pkt)
             return
@@ -146,8 +157,14 @@ class OutputPort:
             stats.arrived_data_bytes += pkt.size
         elif kind == PROBE:
             stats.arrived_probe_bytes += pkt.size
-        if self.qdisc.enqueue(pkt, self.sim.now) and not self.busy:
-            self._start_next()
+        if self.qdisc.enqueue(pkt, self.sim.now):
+            if not self.busy:
+                self._start_next()
+        else:
+            tr = self.trace
+            if tr is not None:
+                tr.emit("port", self.sim.now, event="queue-drop",
+                        port=self.name, kind=kind, flow=pkt.flow.flow_id)
 
     def _start_next(self) -> None:
         pkt = self.qdisc.dequeue()
@@ -167,6 +184,10 @@ class OutputPort:
             # The port went down mid-serialization: the packet is lost and
             # the transmitter idles until set_enabled(True) restarts it.
             self.fault_drops += 1
+            tr = self.trace
+            if tr is not None:
+                tr.emit("port", self.sim.now, event="blackhole-tx",
+                        port=self.name, kind=pkt.kind, flow=pkt.flow.flow_id)
             pkt.flow.note_lost()
             pkt.flow.release(pkt)
             self.busy = False
@@ -183,6 +204,12 @@ class OutputPort:
             stats.be_bytes += pkt.size
         else:
             stats.other_bytes += pkt.size
+        tr = self.trace
+        if tr is not None:
+            # Per-packet completions are the one genuinely high-rate
+            # category; sample it (ObsConfig.sample_every) in real runs.
+            tr.emit("tx", self.sim.now, port=self.name, kind=kind,
+                    size=pkt.size, flow=pkt.flow.flow_id, seq=pkt.seq)
         if self.prop_delay > 0:
             self.sim.call(self.prop_delay, self._arrive, pkt)
         else:
@@ -230,12 +257,20 @@ class OutputPort:
             return
         self.enabled = enabled
         if not enabled:
+            flushed = 0
             pkt = self.qdisc.dequeue()
             while pkt is not None:
                 self.fault_drops += 1
+                flushed += 1
                 pkt.flow.note_lost()
                 pkt.flow.release(pkt)
                 pkt = self.qdisc.dequeue()
+            tr = self.trace
+            if tr is not None:
+                # One summary record per outage, not one per buffered
+                # packet — a deep queue would otherwise flood the trace.
+                tr.emit("port", self.sim.now, event="flush",
+                        port=self.name, flushed=flushed)
         elif not self.busy:
             self._start_next()
 

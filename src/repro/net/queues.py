@@ -99,9 +99,11 @@ class DropTailFifo:
 
     @property
     def backlog_packets(self) -> int:
+        """Current queue occupancy in packets."""
         return len(self._queue)
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Tail-drop admit: queue ``pkt`` unless the buffer is full."""
         marker = self.marker
         if marker is not None and marker.observe(pkt.size, now):
             _mark(pkt)
@@ -114,6 +116,7 @@ class DropTailFifo:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Next packet in FIFO order, or None when empty."""
         if self._queue:
             return self._queue.popleft()
         return None
@@ -159,6 +162,7 @@ class TwoLevelPriorityQueue:
 
     @property
     def backlog_packets(self) -> int:
+        """Total occupancy across both levels, in packets."""
         return self._occupancy
 
     def backlog_at(self, prio: int) -> int:
@@ -166,6 +170,7 @@ class TwoLevelPriorityQueue:
         return len(self._levels[prio])
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Admit ``pkt`` to its level, pushing out a probe when full."""
         prio = pkt.prio
         if prio == PRIO_DATA:
             if self.data_marker is not None and self.data_marker.observe(pkt.size, now):
@@ -197,6 +202,7 @@ class TwoLevelPriorityQueue:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Next packet, data level strictly before probes."""
         for level in self._levels:
             if level:
                 self._occupancy -= 1
@@ -240,6 +246,7 @@ class MultiLevelPriorityQueue:
 
     @property
     def levels(self) -> int:
+        """Number of service levels, including the shared probe level."""
         return len(self._levels)
 
     @property
@@ -249,12 +256,15 @@ class MultiLevelPriorityQueue:
 
     @property
     def backlog_packets(self) -> int:
+        """Total occupancy across all levels, in packets."""
         return self._occupancy
 
     def backlog_at(self, prio: int) -> int:
+        """Occupancy of one priority level (tests and introspection)."""
         return len(self._levels[prio])
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Admit ``pkt``, pushing out the lowest-priority victim when full."""
         prio = pkt.prio
         if not 0 <= prio < len(self._levels):
             raise ConfigurationError(
@@ -280,6 +290,7 @@ class MultiLevelPriorityQueue:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Next packet from the highest-priority non-empty level."""
         for level in self._levels:
             if level:
                 self._occupancy -= 1
@@ -343,13 +354,16 @@ class RedFifo:
 
     @property
     def backlog_packets(self) -> int:
+        """Current (instantaneous) queue occupancy in packets."""
         return len(self._queue)
 
     @property
     def average_queue(self) -> float:
+        """The EWMA queue length RED's drop decisions are based on."""
         return self._avg
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        """RED admit: early-drop probabilistically as the EWMA grows."""
         if self.marker is not None and self.marker.observe(pkt.size, now):
             _mark(pkt)
         if self._queue:
@@ -382,6 +396,7 @@ class RedFifo:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Next packet in FIFO order, or None when empty."""
         if self._queue:
             pkt = self._queue.popleft()
             return pkt
@@ -426,12 +441,14 @@ class FairQueueing:
 
     @property
     def backlog_packets(self) -> int:
+        """Total occupancy across all per-flow queues, in packets."""
         return self._occupancy
 
     def _weight(self, flow_id: int) -> float:
         return self.weights.get(flow_id, 1.0)
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Admit ``pkt`` to its flow's queue; longest-queue-drop when full."""
         if self._occupancy >= self._capacity:
             # Longest-queue drop: shed from the most backlogged flow so
             # overload cannot erase another flow's fair share.
@@ -461,6 +478,7 @@ class FairQueueing:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Next packet in virtual-finish-time (WFQ) order."""
         while self._heap:
             finish, __, flow_id = heapq.heappop(self._heap)
             queue = self._flows.get(flow_id)

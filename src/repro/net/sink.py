@@ -45,6 +45,7 @@ class Sink:
         self.latency_max = 0.0
 
     def receive(self, pkt: Packet) -> None:
+        """Account a delivered packet (and its ECN mark) to its flow."""
         flow = pkt.flow
         flow.delivered += 1
         flow.bytes_delivered += pkt.size

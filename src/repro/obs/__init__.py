@@ -1,0 +1,42 @@
+"""Deterministic observability: metrics, event tracing, profiling.
+
+Three instruments, three domains (DESIGN.md §13):
+
+* **Metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
+  with label sets, mostly *harvested* after the run from counters the
+  components already keep (:mod:`repro.obs.collect`), so hot paths pay
+  nothing.  Deterministic: part of ``ScenarioResult`` and the cache.
+* **Tracing** (:mod:`repro.obs.trace`) — sim-time-stamped JSONL records
+  with per-category deterministic sampling, byte-identical across runs
+  and ``--jobs``.  Deterministic: part of ``ScenarioResult``.
+* **Profiling** (:mod:`repro.obs.profile`) — per-callback wall time with
+  an *injected* clock, harness domain only.  Nondeterministic: rides in
+  progress events, never in cached results.
+
+Enable per scenario via ``ScenarioConfig(obs=ObsConfig(...))`` or the
+``repro-eac run --trace/--metrics`` flags; inspect dumps with
+``python -m repro.obs summarize|filter|diff``.
+"""
+
+from repro.obs.config import KNOWN_CATEGORIES, ObsConfig
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import CallbackProfile
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceRecorder, parse_lines
+
+__all__ = [
+    "KNOWN_CATEGORIES",
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CallbackProfile",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "parse_lines",
+]

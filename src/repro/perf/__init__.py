@@ -78,6 +78,7 @@ class BenchReport:
     results: Dict[str, BenchResult] = field(default_factory=dict)
 
     def to_json(self) -> str:
+        """The report as stable, diff-friendly JSON (the baseline format)."""
         return json.dumps(asdict(self), indent=1, sort_keys=True) + "\n"
 
 

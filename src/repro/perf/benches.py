@@ -11,7 +11,11 @@ exercises one layer of the fast path described in DESIGN.md §11:
 * ``cancel-churn`` — schedule/cancel at the ratio a probe-heavy sweep
   produces, exercising the cancelled-record free list and heap compaction;
 * ``scenario-basic`` / ``scenario-high-load-flaky`` — end-to-end runs of
-  the two representative scenarios at a small scale.
+  the two representative scenarios at a small scale;
+* ``scenario-basic-traced`` — the basic scenario with the ``repro.obs``
+  trace recorder and metrics harvest attached, pinning the price of
+  turning observability *on* (the off path is guarded by the
+  ``benchmarks/test_obs_overhead.py`` ratio bound instead).
 
 Benchmarks build engines with ``strict=False`` explicitly: the production
 configuration whose speed the harness guards.
@@ -150,12 +154,19 @@ def bench_cancel_churn(name: str, rounds: int, scale: float) -> BenchResult:
     )
 
 
-def _scenario_bench(scenario: str) -> Callable[[str, int, float], BenchResult]:
+def _scenario_bench(
+    scenario: str, traced: bool = False
+) -> Callable[[str, int, float], BenchResult]:
     def bench(name: str, rounds: int, scale: float) -> BenchResult:
+        from dataclasses import replace
+
         from repro.experiments.runner import run_scenario
         from repro.experiments.scenarios import get_scenario
+        from repro.obs import ObsConfig
 
         config = get_scenario(scenario).config(scale=scale, seed=1)
+        if traced:
+            config = replace(config, obs=ObsConfig())
 
         def body() -> object:
             return run_scenario(config, _DESIGN)
@@ -179,6 +190,7 @@ BENCHMARKS: Dict[str, Callable[[str, int, float], BenchResult]] = {
     "cancel-churn": bench_cancel_churn,
     "scenario-basic": _scenario_bench("basic"),
     "scenario-high-load-flaky": _scenario_bench("high-load-flaky"),
+    "scenario-basic-traced": _scenario_bench("basic", traced=True),
 }
 
 __all__ = ["BENCHMARKS"]

@@ -62,9 +62,40 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional, Protocol
 
 from repro.errors import SimulationError
+
+
+class TraceSink(Protocol):
+    """Structural interface for event-trace recorders (see ``repro.obs``).
+
+    The engine (and the network/endpoint components) never import the obs
+    package — they hold an optional attribute typed against this protocol,
+    the same layering trick :class:`repro.net.link.LossModel` uses to keep
+    ``net`` from importing ``faults``.  Records carry *simulation* time
+    only; anything wall-clock lives in the harness domain (DESIGN.md §13).
+    """
+
+    def emit(self, category: str, t: float, /, **fields: object) -> None:
+        """Record one event at sim time ``t`` under ``category``."""
+        ...
+
+
+class ProfileSink(Protocol):
+    """Structural interface for per-callback wall-time profiling.
+
+    The clock is *injected* by the harness (``repro.experiments.parallel``
+    passes ``time.perf_counter``): the engine never imports :mod:`time`, so
+    the wall-clock read originates in an exempt harness module and the
+    ``repro.lint --graph`` XMOD003 gate stays clean (DESIGN.md §13).
+    """
+
+    clock: Callable[[], float]
+
+    def record(self, key: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time against callback ``key``."""
+        ...
 
 # Index constants for the event record; kept module-private.  ``step`` and
 # ``run`` share the pop-skip-cancelled pattern through these constants so the
@@ -166,14 +197,18 @@ class Simulator:
         something (e.g. the test suite) turned it on.
     """
 
-    __slots__ = ("now", "strict", "_heap", "_head", "_free",
+    __slots__ = ("now", "strict", "trace", "_heap", "_head", "_free",
                  "_chain_time", "_chain_seq", "_chain_fn", "_chain_args",
                  "_seq", "_stopped", "_events_processed", "_cancelled",
-                 "_compactions")
+                 "_cancel_total", "_compactions", "_profile")
 
     def __init__(self, strict: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self.strict: bool = _strict_default if strict is None else strict
+        #: Optional event-trace recorder (``repro.obs``); the engine only
+        #: touches it on the rare compaction path, never per event.
+        self.trace: Optional[TraceSink] = None
+        self._profile: Optional[ProfileSink] = None
         self._heap: List[List[Any]] = []
         #: FIFO lane for events scheduled at exactly the current time;
         #: sorted by (time, seq) by construction.
@@ -193,6 +228,7 @@ class Simulator:
         self._stopped: bool = False
         self._events_processed: int = 0
         self._cancelled: int = 0
+        self._cancel_total: int = 0
         self._compactions: int = 0
 
     # -- scheduling -----------------------------------------------------
@@ -387,6 +423,7 @@ class Simulator:
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel`; feeds the garbage ratio."""
         self._cancelled += 1
+        self._cancel_total += 1
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled records, recycling them.
@@ -401,10 +438,15 @@ class Simulator:
                 live.append(record)
             else:
                 self._release(record)
+        freed = len(heap) - len(live)
         heap[:] = live
         heapq.heapify(heap)
         self._cancelled = 0
         self._compactions += 1
+        tr = self.trace
+        if tr is not None:
+            tr.emit("sim", self.now, event="compact",
+                    freed=freed, live=len(live))
 
     def step(self) -> bool:
         """Run the single next pending event.
@@ -436,6 +478,12 @@ class Simulator:
         byte-identity tests (``tests/unit/test_golden_identity.py``) and the
         engine unit tests pin the two forms to identical observable behavior.
         """
+        if self._profile is not None:
+            # Profiling replaces the unrolled loop wholesale so the
+            # production path below pays nothing — not even a per-event
+            # branch — when profiling is off.
+            self._run_profiled(until)
+            return
         self._stopped = False
         heap = self._heap  # _compact mutates in place, so the alias holds
         head = self._head
@@ -521,6 +569,57 @@ class Simulator:
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 
+    def _run_profiled(self, until: Optional[float]) -> None:
+        """The :meth:`run` loop with per-callback wall-time accounting.
+
+        Built from the readable :meth:`_pop_live` helper (the golden tests
+        pin it to ``run``'s unrolled form), with the injected clock sampled
+        around every callback.  Dispatch order, clock advancement, and the
+        ``until`` push-back semantics are identical to :meth:`run`; the only
+        difference is that a not-yet-due *chained* event is materialized
+        into the heap rather than left parked — an internal-representation
+        difference with no observable effect (ordering is (time, seq)).
+        """
+        profile = self._profile
+        assert profile is not None
+        clock = profile.clock
+        record_cb = profile.record
+        self._stopped = False
+        while not self._stopped:
+            record = self._pop_live()
+            if record is None:
+                break
+            when = record[_TIME]
+            if until is not None and when > until:
+                heapq.heappush(self._heap, record)
+                break
+            if self.strict:
+                self._validate_dispatch(when)
+            if self._cancelled >= _COMPACT_MIN and self._cancelled > len(self._heap) // 2:
+                self._compact()
+            record[_ALIVE] = False
+            self.now = when
+            self._events_processed += 1
+            fn = record[_FN]
+            args = record[_ARGS]
+            self._release(record)
+            key = getattr(fn, "__qualname__", None) or repr(fn)
+            start = clock()
+            fn(*args)
+            record_cb(key, clock() - start)
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def enable_profiling(self, profile: Optional[ProfileSink]) -> None:
+        """Install (or, with ``None``, remove) a per-callback profiler.
+
+        The profiler's clock must be injected by harness code (see
+        :class:`ProfileSink`); results are wall-clock and therefore live
+        outside the deterministic result set — they ride in progress
+        events, never in cached :class:`ScenarioResult` payloads.
+        """
+        self._profile = profile
+
     def stop(self) -> None:
         """Halt :meth:`run` after the currently executing event returns."""
         self._stopped = True
@@ -553,3 +652,23 @@ class Simulator:
     def compactions(self) -> int:
         """Number of heap compactions performed so far."""
         return self._compactions
+
+    @property
+    def scheduled(self) -> int:
+        """Total number of events ever scheduled (all three lanes)."""
+        return self._seq
+
+    @property
+    def cancellations(self) -> int:
+        """Total number of handle cancellations since construction.
+
+        Unlike the internal garbage counter this never decreases: it counts
+        every :meth:`EventHandle.cancel`, whether or not the record has
+        since been popped or compacted away.
+        """
+        return self._cancel_total
+
+    @property
+    def profile(self) -> Optional[ProfileSink]:
+        """The installed profiler, if any (see :meth:`enable_profiling`)."""
+        return self._profile

@@ -22,17 +22,20 @@ class RunningStats:
         self._m2 = 0.0
 
     def add(self, value: float) -> None:
+        """Fold one observation in (Welford's online update)."""
         self.n += 1
         delta = value - self._mean
         self._mean += delta / self.n
         self._m2 += delta * (value - self._mean)
 
     def extend(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations in."""
         for value in values:
             self.add(value)
 
     @property
     def mean(self) -> float:
+        """Running mean (0.0 before any observation)."""
         return self._mean
 
     @property
@@ -44,6 +47,7 @@ class RunningStats:
 
     @property
     def stddev(self) -> float:
+        """Sample standard deviation (square root of :attr:`variance`)."""
         return math.sqrt(self.variance)
 
     def confidence_halfwidth(self, z: float = 1.96) -> float:

@@ -59,6 +59,7 @@ class TcpConnection:
             self.sender.start()
 
     def stop(self) -> None:
+        """Stop the connection's sender (no further transmissions)."""
         self.sender.stop()
 
     @property

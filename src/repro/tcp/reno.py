@@ -147,6 +147,7 @@ class TcpRenoSender:
         self._send_window()
 
     def stop(self) -> None:
+        """Halt transmission and cancel the retransmission timer."""
         self.running = False
         self._timer.stop()
 

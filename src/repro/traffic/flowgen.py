@@ -45,10 +45,12 @@ class FlowRequest:
 
     @property
     def spec(self) -> SourceSpec:
+        """The traffic model of the class this flow was drawn from."""
         return self.cls.spec
 
     @property
     def label(self) -> str:
+        """The class label results are aggregated under."""
         return self.cls.label
 
 

@@ -46,6 +46,7 @@ def _isolate_sweep_state(tmp_path, monkeypatch):
     parallel.set_progress(None)
     parallel.set_task_timeout(None)
     parallel.set_task_hook(None)
+    parallel.set_profile(False)
 
 
 @pytest.fixture

@@ -1,0 +1,80 @@
+"""Docstring audit: the public ``repro.*`` API documents itself.
+
+A missing-docstring check in the spirit of pydocstyle's D100/D101/D102,
+scoped to the *public* surface only: every module, every public
+module-level class and function, and every public method of a public
+class.  Private names (leading underscore) and inherited/dunder methods
+are exempt, as are ``repro.lint``'s rule tables (its many tiny rule
+classes are documented collectively in the module docstring).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+#: Packages whose members are exempt from the per-member checks (module
+#: docstrings are still required everywhere).
+MEMBER_EXEMPT_PREFIXES = ("repro.lint",)
+
+#: Methods every class gets for free; absence of a docstring is fine.
+IGNORED_METHODS = frozenset({
+    "__init__", "__repr__", "__len__", "__eq__", "__hash__",
+    "__post_init__", "__call__", "__iter__", "__next__", "__enter__",
+    "__exit__", "__lt__", "__contains__",
+})
+
+
+def iter_repro_modules():
+    """Import and yield every module in the ``repro`` package tree."""
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith(".__main__"):
+            continue  # importing these would run the CLI
+        yield importlib.import_module(info.name)
+
+
+def member_exempt(module_name):
+    return any(module_name.startswith(p) for p in MEMBER_EXEMPT_PREFIXES)
+
+
+def collect_violations():
+    violations = []
+    for module in iter_repro_modules():
+        name = module.__name__
+        if not inspect.getdoc(module):
+            violations.append(f"{name}: missing module docstring")
+        if member_exempt(name):
+            continue
+        for attr, obj in vars(module).items():
+            if attr.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != name:
+                continue  # re-export; documented where it is defined
+            if not inspect.getdoc(obj):
+                violations.append(f"{name}.{attr}: missing docstring")
+            if inspect.isclass(obj):
+                for meth_name, meth in vars(obj).items():
+                    if meth_name.startswith("_") or meth_name in IGNORED_METHODS:
+                        continue
+                    unwrapped = meth
+                    if isinstance(meth, (staticmethod, classmethod)):
+                        unwrapped = meth.__func__
+                    elif isinstance(meth, property):
+                        unwrapped = meth.fget
+                    if not callable(unwrapped):
+                        continue
+                    if not inspect.getdoc(unwrapped):
+                        violations.append(
+                            f"{name}.{attr}.{meth_name}: missing docstring")
+    return violations
+
+
+def test_public_api_is_documented():
+    violations = collect_violations()
+    assert not violations, (
+        f"{len(violations)} public names lack docstrings:\n  "
+        + "\n  ".join(sorted(violations))
+    )

@@ -1,0 +1,160 @@
+"""Golden-output tests for ``python -m repro.obs``.
+
+The CLI's text is part of the observability contract — EXPERIMENTS.md
+walks users through reading it — so summarize/diff output is pinned
+verbatim against hand-built dumps here.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsConfig, TraceRecorder
+from repro.obs.cli import diff_dumps, filter_trace, load_dump, main, summarize
+
+
+def write_trace(path, events):
+    """Build a trace file from (category, t, fields) triples."""
+    rec = TraceRecorder(ObsConfig())
+    for category, t, fields in events:
+        rec.emit(category, t, **fields)
+    path.write_text("\n".join(rec.lines()) + "\n")
+    return str(path)
+
+
+EVENTS = [
+    ("probe", 1.0, dict(event="start", flow=1)),
+    ("tx", 1.5, dict(port="l0", seq=0)),
+    ("tx", 2.0, dict(port="l0", seq=1)),
+    ("probe", 2.5, dict(event="admit", flow=1)),
+    ("fault", 3.0, dict(event="apply", port="l0", action="down")),
+]
+
+
+def write_metrics(path, values):
+    reg = MetricsRegistry()
+    for name, labels, value in values:
+        reg.counter(name, **labels).inc(value)
+    path.write_text(reg.to_json() + "\n")
+    return str(path)
+
+
+class TestLoadDump:
+    def test_classifies_both_kinds(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", EVENTS)
+        metrics = write_metrics(tmp_path / "m.json", [("x", {}, 1)])
+        assert load_dump(trace)[0] == "trace"
+        assert load_dump(metrics)[0] == "metrics"
+
+
+class TestSummarize:
+    def test_trace_summary_golden(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", EVENTS)
+        assert summarize(path) == (
+            "trace: 5 records, t=[1, 3], schema v1\n"
+            "  fault           1 records  t=[3, 3]  (apply=1)\n"
+            "  probe           2 records  t=[1, 2.5]  (admit=1, start=1)\n"
+            "  tx              2 records  t=[1.5, 2]"
+        )
+
+    def test_trace_summary_category_filter(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", EVENTS)
+        assert summarize(path, category="tx") == (
+            "trace: 2 records, t=[1.5, 2], schema v1\n"
+            "  tx              2 records  t=[1.5, 2]"
+        )
+        assert summarize(path, category="nope") == "trace: 0 records"
+
+    def test_metrics_summary_golden(self, tmp_path):
+        path = write_metrics(tmp_path / "m.json", [
+            ("flows_offered", {"cls": "EXP1"}, 7),
+            ("sim_time", {}, 120),
+        ])
+        assert summarize(path) == (
+            "metrics: 2 series\n"
+            "  flows_offered{cls=EXP1} 7\n"
+            "  sim_time 120"
+        )
+
+
+class TestFilter:
+    def test_filters_are_byte_preserving(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", EVENTS)
+        all_lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        kept = filter_trace(path, category="probe")
+        assert kept == [l for l in all_lines if '"cat":"probe"' in l]
+        assert filter_trace(path, since=2.0, until=2.5) == [
+            l for l in all_lines
+            if 2.0 <= json.loads(l)["t"] <= 2.5
+        ]
+
+    def test_rejects_metrics_dump(self, tmp_path):
+        path = write_metrics(tmp_path / "m.json", [("x", {}, 1)])
+        with pytest.raises(SystemExit):
+            filter_trace(path)
+
+
+class TestDiff:
+    def test_identical_traces_exit_zero(self, tmp_path):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_trace(tmp_path / "b.jsonl", EVENTS)
+        report, status = diff_dumps(a, b)
+        assert status == 0
+        assert report == "identical: 5 records, zero deltas"
+
+    def test_divergent_traces_name_first_record(self, tmp_path):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        changed = list(EVENTS)
+        changed[1] = ("tx", 1.5, dict(port="l0", seq=99))
+        b = write_trace(tmp_path / "b.jsonl", changed)
+        report, status = diff_dumps(a, b)
+        assert status == 1
+        assert "traces differ: 5 records vs 5 records" in report
+        assert "record 1:" in report
+        assert '"seq":99' in report
+
+    def test_extra_records_reported(self, tmp_path):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_trace(tmp_path / "b.jsonl", EVENTS[:3])
+        report, status = diff_dumps(a, b)
+        assert status == 1
+        assert "2 extra record(s)" in report
+
+    def test_metrics_deltas(self, tmp_path):
+        a = write_metrics(tmp_path / "a.json", [
+            ("x", {}, 1), ("only_a", {}, 1)])
+        b = write_metrics(tmp_path / "b.json", [
+            ("x", {}, 2), ("only_b", {}, 1)])
+        report, status = diff_dumps(a, b)
+        assert status == 1
+        assert "~ x: 1 -> 2" in report
+        assert "- only_a" in report
+        assert "+ only_b" in report
+
+    def test_identical_metrics_exit_zero(self, tmp_path):
+        a = write_metrics(tmp_path / "a.json", [("x", {}, 1)])
+        b = write_metrics(tmp_path / "b.json", [("x", {}, 1)])
+        assert diff_dumps(a, b) == ("identical: 1 series, zero deltas", 0)
+
+    def test_kind_mismatch_exit_two(self, tmp_path):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_metrics(tmp_path / "b.json", [("x", {}, 1)])
+        report, status = diff_dumps(a, b)
+        assert status == 2
+        assert "cannot diff" in report
+
+
+class TestMain:
+    def test_main_wires_subcommands(self, tmp_path, capsys):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_trace(tmp_path / "b.jsonl", EVENTS)
+
+        assert main(["summarize", a]) == 0
+        assert "trace: 5 records" in capsys.readouterr().out
+
+        assert main(["filter", a, "--category", "fault"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1 and '"action":"down"' in out
+
+        assert main(["diff", a, b]) == 0
+        assert "zero deltas" in capsys.readouterr().out
