@@ -1,0 +1,79 @@
+"""Overhead bound for the periodic time-series sampler.
+
+The sampler's contract (DESIGN.md §14): each tick only *reads* component
+state and schedules its own next event, so a sampled run costs a handful
+of extra events per sim-second — and, critically, the physics results do
+not move at all.  This benchmark pins both: a small scenario is run
+without obs and with a timeseries-only config, interleaved min-of-N, and
+the sampled run must stay within a generous ratio bound while producing
+bit-equal headline results.
+"""
+
+import time
+
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.obs import ObsConfig
+from repro.units import mbps
+
+_ROUNDS = 3
+
+#: Bound on the sampled run's slowdown over the plain run.  A 1 s
+#: sampling interval over a 120 s run adds ~120 reads of a few dozen
+#: counters — well under the noise floor of CI, hence the slack.
+_SAMPLED_BOUND = 1.25
+
+_DESIGN = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                         ProbingScheme.SLOW_START)
+
+_TS_OBS = ObsConfig(metrics=False, trace=False, timeseries=True,
+                    timeseries_interval=1.0)
+
+
+def _config(obs):
+    return ScenarioConfig(source="EXP1", interarrival=2.0, seed=1,
+                          duration=120.0, warmup=20.0, lifetime_mean=20.0,
+                          link_rate_bps=mbps(2), obs=obs)
+
+
+def test_timeseries_sampler_is_cheap(report):
+    variants = {
+        "plain": None,
+        "timeseries-1s": _TS_OBS,
+    }
+    best = {name: float("inf") for name in variants}
+    results = {}
+    for _ in range(_ROUNDS):
+        for name, obs in variants.items():
+            start = time.perf_counter()
+            results[name] = run_scenario(_config(obs), _DESIGN)
+            best[name] = min(best[name], time.perf_counter() - start)
+
+    plain = best["plain"]
+    rows = [
+        (name, seconds,
+         "--" if name == "plain" else f"{seconds / plain - 1.0:+.1%}")
+        for name, seconds in best.items()
+    ]
+    report.record(
+        "timeseries_overhead",
+        format_table(
+            ("variant", "seconds", "vs plain"),
+            rows,
+            title="-- repro.obs timeseries overhead (120 s run, min of 3)",
+        ),
+    )
+    sampled = results["timeseries-1s"]
+    assert sampled.timeseries is not None
+    assert sampled.utilization == results["plain"].utilization
+    assert sampled.loss_probability == results["plain"].loss_probability
+    assert best["timeseries-1s"] < _SAMPLED_BOUND * plain, (
+        f"sampled run {best['timeseries-1s']:.4f}s vs plain {plain:.4f}s "
+        f"exceeds {_SAMPLED_BOUND}x"
+    )

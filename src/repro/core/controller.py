@@ -20,7 +20,7 @@ flows are baselined and subtracted at aggregation time.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.design import EndpointDesign
 from repro.core.endpoint import EndpointAgent, FlowOutcome
@@ -127,6 +127,14 @@ class ControllerBase:
         self._baselines: Dict[int, Dict[str, int]] = {}
         # Per-label [offered, admitted, timed_out, retries] tallies.
         self._decisions: Dict[str, List[int]] = defaultdict(lambda: [0, 0, 0, 0])
+        # Lifetime per-label [offered, admitted] tallies — unlike
+        # ``_decisions`` these are never cleared at the warm-up boundary,
+        # so an external sampler can read them as cumulative series.
+        self._lifetime: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        # Live per-label flow counts and admitted load (sum of token
+        # rates), maintained incrementally for cheap periodic sampling.
+        self._live_counts: Dict[str, int] = defaultdict(int)
+        self._live_load: Dict[str, float] = defaultdict(float)
         self.measuring = False
         self.measure_start = 0.0
         #: Optional event-trace sink (repro.obs); the runner installs it
@@ -154,6 +162,7 @@ class ControllerBase:
             label=request.label,
             arrival_time=request.arrival_time,
             epsilon=1.0,
+            rate_bps=request.spec.token_rate_bps,
             admitted=True,
             decision_time=self.sim.now,
         )
@@ -185,11 +194,18 @@ class ControllerBase:
             if outcome.timed_out:
                 counts[2] += 1
             counts[3] += outcome.retries
+        life = self._lifetime[outcome.label]
+        life[0] += 1
         if outcome.admitted:
+            life[1] += 1
             self._live[outcome.flow_id] = outcome
+            self._live_counts[outcome.label] += 1
+            self._live_load[outcome.label] += outcome.rate_bps
 
     def _record_complete(self, outcome: FlowOutcome) -> None:
-        self._live.pop(outcome.flow_id, None)
+        if self._live.pop(outcome.flow_id, None) is not None:
+            self._live_counts[outcome.label] -= 1
+            self._live_load[outcome.label] -= outcome.rate_bps
 
     # -- measurement window ------------------------------------------------
 
@@ -241,6 +257,30 @@ class ControllerBase:
     def live_flows(self) -> int:
         """Number of flows currently in their data phase."""
         return len(self._live)
+
+    # -- sampling accessors (repro.obs.timeseries) ---------------------------
+
+    def admission_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Lifetime ``(offered, admitted)`` per class, sorted by label.
+
+        Unlike :meth:`class_stats` these counts cover the whole run —
+        prefilled flows and warm-up decisions included — so a periodic
+        sampler can difference them into per-interval accept/reject
+        rates without tripping over the measurement-window reset.
+        """
+        return {
+            label: (self._lifetime[label][0], self._lifetime[label][1])
+            for label in sorted(self._lifetime)
+        }
+
+    def live_class_load(self, label: str) -> Tuple[int, float]:
+        """``(live flow count, admitted load in bps)`` for one class.
+
+        The load is the sum of the live flows' declared token rates —
+        the quantity MBAC-style algorithms budget against — maintained
+        incrementally so reading it costs two dict lookups.
+        """
+        return self._live_counts.get(label, 0), self._live_load.get(label, 0.0)
 
 
 class EndpointAdmissionControl(ControllerBase):

@@ -55,12 +55,15 @@ class FlowOutcome:
     the probe deadline expired past the retry budget, or the renege
     deadline fired; such flows count as blocked.  ``retries`` is the
     number of re-probe attempts made; ``probe`` covers the final attempt.
+    ``rate_bps`` is the flow's declared token rate — the admitted-load
+    contribution the controller's live-load accounting tracks.
     """
 
     flow_id: int
     label: str
     arrival_time: float
     epsilon: float
+    rate_bps: float = 0.0
     admitted: bool = False
     decision_time: float = math.nan
     probe: Dict[str, int] = field(default_factory=dict)
@@ -110,6 +113,7 @@ class EndpointAgent:
             label=request.label,
             arrival_time=request.arrival_time,
             epsilon=self.epsilon,
+            rate_bps=spec.token_rate_bps,
         )
 
         # Probe plan: per-interval rates and total planned packet count.

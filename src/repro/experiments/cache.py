@@ -45,7 +45,9 @@ from repro.experiments.runner import (
 )
 
 #: Bump when the on-disk payload layout changes; old entries are evicted.
-SCHEMA_VERSION = 3
+#: v4: ScenarioResult grew the ``timeseries`` payload and the trace
+#: envelope moved to v2 (recorder field).
+SCHEMA_VERSION = 4
 
 _MEMO: Dict[Tuple[ScenarioConfig, ControllerSpec], ScenarioResult] = {}
 

@@ -12,12 +12,15 @@ index (figure1..figure9, figure11, table3..table6) and prints the
 regenerated rows/series.  ``run`` and ``figure`` share the execution
 flags ``--jobs N`` (worker processes; 0 = one per CPU), ``--cache-dir``
 (the persistent result cache, default ``results/cache``), ``--no-cache``
-(disable the disk tier), ``--task-timeout`` and ``--profile``
-(per-callback wall-time summary); ``run`` additionally takes
-``--trace PATH`` / ``--metrics PATH`` / ``--trace-sample CAT=N`` to dump
-a deterministic repro.obs event trace and metrics snapshot (inspect with
-``python -m repro.obs``).  Per-run progress goes to stderr so piped
-figure output stays clean.
+(disable the disk tier), ``--task-timeout``, ``--profile``
+(per-callback wall-time summary) and ``--obs-dir DIR`` (per-run obs
+artifacts plus a canonical manifest); ``run`` additionally takes
+``--trace PATH`` / ``--metrics PATH`` / ``--timeseries PATH`` /
+``--trace-sample CAT=N`` to dump a deterministic repro.obs event trace,
+metrics snapshot, and periodic time series (inspect with
+``python -m repro.obs``), and ``--seeds N`` to replicate over
+consecutive seeds.  Per-run progress goes to stderr so piped figure
+output stays clean.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.core.design import (
 )
 from repro.errors import ReproError
 from repro.experiments import cache, figures, parallel
-from repro.experiments.runner import MbacConfig
+from repro.experiments.runner import MbacConfig, ReplicatedResult
 from repro.experiments.scenarios import SCENARIOS, get_scenario
 from repro.obs import ObsConfig
 
@@ -102,6 +105,7 @@ def _apply_execution_options(args: argparse.Namespace) -> parallel.ProgressTrack
     parallel.set_jobs(args.jobs)
     parallel.set_task_timeout(getattr(args, "task_timeout", None))
     parallel.set_profile(bool(getattr(args, "profile", False)))
+    parallel.set_obs_dir(getattr(args, "obs_dir", None))
     cache.set_cache_dir(None if args.no_cache else args.cache_dir)
     tracker = parallel.stderr_tracker()
     parallel.set_progress(tracker)
@@ -130,14 +134,27 @@ def _parse_samples(values: Optional[List[str]]) -> Tuple[Tuple[str, int], ...]:
 
 
 def _obs_config(args: argparse.Namespace) -> Optional[ObsConfig]:
-    """The ObsConfig the run subcommand's flags describe (None when off)."""
+    """The ObsConfig the run subcommand's flags describe (None when off).
+
+    ``--obs-dir`` with no per-artifact flag turns everything on (trace,
+    metrics, timeseries) — the sweep-artifact use case; individual
+    ``--trace``/``--metrics``/``--timeseries`` flags select exactly what
+    they name.
+    """
     want_trace = args.trace is not None
     want_metrics = args.metrics is not None
-    if not want_trace and not want_metrics:
+    want_timeseries = args.timeseries is not None
+    if not want_trace and not want_metrics and not want_timeseries:
+        if getattr(args, "obs_dir", None) is not None:
+            return ObsConfig(
+                timeseries=True,
+                sample_every=_parse_samples(args.trace_sample),
+            )
         return None
     return ObsConfig(
         metrics=want_metrics,
         trace=want_trace,
+        timeseries=want_timeseries,
         sample_every=_parse_samples(args.trace_sample),
     )
 
@@ -154,6 +171,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = parse_design(args.design, args.epsilon, args.probing)
     else:
         spec = None
+    if args.seeds < 1:
+        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
+    if args.seeds > 1:
+        per_run = [flag for flag, value in (
+            ("--trace", args.trace), ("--metrics", args.metrics),
+            ("--timeseries", args.timeseries),
+        ) if value is not None]
+        if per_run:
+            raise ReproError(
+                f"{'/'.join(per_run)} write one file but --seeds "
+                f"{args.seeds} produces several runs; use --obs-dir for "
+                f"per-run artifacts"
+            )
+        tasks = [
+            (config.with_seed(seed), spec)
+            for seed in range(args.seed, args.seed + args.seeds)
+        ]
+        aggregate = ReplicatedResult.aggregate(parallel.iter_run_results(tasks))
+        if getattr(args, "profile", False):
+            print(tracker.summary(), file=sys.stderr)
+        print(f"controller : {aggregate.controller_name}")
+        print(f"seeds      : {aggregate.seeds}")
+        print(f"utilization: {aggregate.utilization:.4f}")
+        print(f"loss prob  : {aggregate.loss_probability:.3e}")
+        print(f"blocking   : {aggregate.blocking_probability:.4f}")
+        for label in sorted(aggregate.per_class_means):
+            print(f"  class {label}: "
+                  f"blocking={aggregate.class_mean(label, 'blocking_probability'):.4f} "
+                  f"loss={aggregate.class_mean(label, 'loss_probability'):.3e}")
+        return 0
     result = parallel.run_many([(config, spec)])[0]
     if args.trace is not None:
         lines = result.trace or []
@@ -165,6 +212,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             result.metrics or {}, sort_keys=True, separators=(",", ":"),
         ) + "\n")
         print(f"metrics    : -> {args.metrics}", file=sys.stderr)
+    if args.timeseries is not None:
+        Path(args.timeseries).write_text(json.dumps(
+            result.timeseries or {}, sort_keys=True, separators=(",", ":"),
+        ) + "\n")
+        samples = len((result.timeseries or {}).get("t", ()))
+        print(f"timeseries : {samples} samples -> {args.timeseries}",
+              file=sys.stderr)
     if getattr(args, "profile", False):
         print(tracker.summary(), file=sys.stderr)
     print(f"controller : {result.controller_name}")
@@ -220,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", action="store_true",
                        help="profile per-callback wall time in fresh runs "
                             "and print the top callbacks in the summary")
+        p.add_argument("--obs-dir", metavar="DIR", default=None,
+                       help="export per-run obs artifacts (trace/metrics/"
+                            "timeseries) plus a canonical manifest.json "
+                            "into DIR")
 
     run_p = sub.add_parser("run", help="run one scenario under one controller")
     add_execution_flags(run_p)
@@ -233,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--trace-sample", action="append", metavar="CAT=N",
                        help="keep every N-th trace record of a category "
                             "(repeatable; e.g. --trace-sample tx=100)")
+    run_p.add_argument("--timeseries", metavar="PATH", default=None,
+                       help="record a periodic time series (repro.obs "
+                            "JSON) to PATH")
+    run_p.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="replicate over N consecutive seeds starting "
+                            "at --seed and print the aggregate (per-run "
+                            "artifacts go to --obs-dir)")
     run_p.add_argument("--design", help="signal/band, e.g. drop/in-band")
     run_p.add_argument("--probing", default="slow-start",
                        help="simple | early-reject | slow-start")

@@ -68,6 +68,7 @@ from typing import (
 from repro.errors import ConfigurationError, SweepTaskError, SweepWorkerError
 from repro.experiments import cache
 from repro.experiments.report import format_progress, format_sweep_summary
+from repro.obs.export import ObsDirWriter
 from repro.obs.profile import (
     CallbackProfile,
     ProfileRow,
@@ -135,6 +136,12 @@ _task_hook: Optional[Callable[[RunTask], None]] = None
 #: the task hook it must be set before the pool spawns (workers inherit
 #: it via fork).
 _profile_enabled = False
+#: Directory for per-run observability artifacts (the CLI's ``--obs-dir``
+#: flag); ``None`` disables export.  Artifacts are written in the parent
+#: at yield time — task order — so serial and parallel sweeps produce
+#: byte-identical directories, and cache hits export too (trace/metrics/
+#: timeseries ride the cached ScenarioResult).
+_configured_obs_dir: Optional[str] = None
 
 #: Per-task resubmission budget after worker crashes or stalls.
 DEFAULT_TASK_RETRIES = 2
@@ -187,6 +194,18 @@ def set_profile(enabled: bool) -> None:
     """
     global _profile_enabled
     _profile_enabled = bool(enabled)
+
+
+def set_obs_dir(path: Optional[str]) -> None:
+    """Export per-run obs artifacts of every sweep to ``path`` (None: off).
+
+    The CLI's ``--obs-dir`` flag calls this.  Each sweep writes one
+    trace/metrics/timeseries file per run (whichever the run's ObsConfig
+    produced) plus a canonical ``manifest.json`` — see
+    :class:`repro.obs.export.ObsDirWriter`.
+    """
+    global _configured_obs_dir
+    _configured_obs_dir = path
 
 
 def set_task_hook(hook: Optional[Callable[[RunTask], None]]) -> None:
@@ -312,8 +331,42 @@ def iter_run_results(
     :data:`DEFAULT_TASK_RETRIES`).  A task that *raises* is never
     retried — that failure is deterministic, and the sweep aborts with a
     :class:`~repro.errors.SweepTaskError` naming the task's ``run_key``.
+
+    With :func:`set_obs_dir` configured, each run's observability
+    artifacts are exported (in the parent, in task order) as results are
+    yielded, and a canonical manifest is written once the sweep is fully
+    consumed — byte-identical between serial and parallel sweeps.
     """
     task_list = list(tasks)
+    results = _iter_task_results(
+        task_list, jobs=jobs, progress=progress,
+        task_timeout=task_timeout, task_retries=task_retries,
+    )
+    obs_dir = _configured_obs_dir
+    if obs_dir is None:
+        yield from results
+        return
+    writer = ObsDirWriter(obs_dir)
+    for i, result in enumerate(results):
+        if result.trace is not None or result.metrics is not None \
+                or result.timeseries is not None:
+            writer.write_run(
+                i, result.controller_name, result.seed,
+                trace=result.trace, metrics=result.metrics,
+                timeseries=result.timeseries,
+            )
+        yield result
+    writer.write_manifest()
+
+
+def _iter_task_results(
+    task_list: List[RunTask],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: Optional[int] = None,
+) -> Iterator[ScenarioResult]:
+    """The cache/pool machinery behind :func:`iter_run_results`."""
     total = len(task_list)
     if progress is None:
         progress = _progress_hook

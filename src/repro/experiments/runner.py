@@ -29,6 +29,7 @@ from repro.net.topology import Network, parking_lot, single_link
 from repro.obs.collect import collect_run
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.trace import TraceRecorder
 from repro.sim.engine import ProfileSink, Simulator
 from repro.sim.rng import RandomStreams
@@ -145,6 +146,9 @@ class ScenarioResult:
     trace: Optional[List[str]] = None
     #: Canonical metrics snapshot (repro.obs), or None when disabled.
     metrics: Optional[Dict[str, Any]] = None
+    #: Canonical time-series dict (repro.obs.timeseries), or None when
+    #: the periodic sampler was off.
+    timeseries: Optional[Dict[str, Any]] = None
 
     @property
     def blocked(self) -> int:
@@ -241,7 +245,12 @@ def run_scenario(
     obs = config.obs
     recorder: Optional[TraceRecorder] = None
     if obs is not None and obs.trace:
-        recorder = TraceRecorder(obs)
+        # The recorder identity makes sweep streams mergeable: the merge
+        # key is (t, recorder, i), so each task needs a distinct id.
+        # Controller name + seed distinguishes every task of one sweep.
+        recorder = TraceRecorder(
+            obs, recorder_id=f"{_controller_name(design)}/s{config.seed}"
+        )
         sim.trace = recorder
 
     if isinstance(design, EndpointDesign):
@@ -282,6 +291,14 @@ def run_scenario(
     if config.prefill:
         _prefill(sim, streams, controller, classes, config)
     generator.start()
+
+    sampler: Optional[TimeSeriesSampler] = None
+    if obs is not None and obs.timeseries:
+        labels = sorted({cls.label for cls in classes})
+        sampler = TimeSeriesSampler(
+            sim, obs, list(network.ports()), controller, labels
+        )
+        sampler.start()
 
     sim.schedule_at(config.warmup, controller.begin_measurement)
     sim.run(until=config.duration)
@@ -333,6 +350,7 @@ def run_scenario(
         fault_events=fault_schedule.applied if fault_schedule is not None else 0,
         trace=recorder.lines() if recorder is not None else None,
         metrics=metrics,
+        timeseries=sampler.to_dict() if sampler is not None else None,
     )
 
 

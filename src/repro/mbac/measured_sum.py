@@ -95,12 +95,14 @@ class MeasuredSumController(ControllerBase):
         tr = self.trace
         if tr is not None:
             tr.emit("mbac", self.sim.now, event="decision",
-                    flow=request.flow_id, admitted=admitted, rate_bps=rate)
+                    flow=request.flow_id, label=request.label,
+                    admitted=admitted, rate_bps=rate)
         outcome = FlowOutcome(
             flow_id=request.flow_id,
             label=request.label,
             arrival_time=request.arrival_time,
             epsilon=self.target_utilization,
+            rate_bps=rate,
             admitted=admitted,
             decision_time=self.sim.now,
         )

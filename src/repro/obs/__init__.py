@@ -13,12 +13,27 @@ Three instruments, three domains (DESIGN.md §13):
   an *injected* clock, harness domain only.  Nondeterministic: rides in
   progress events, never in cached results.
 
+Three derived views build on those instruments (DESIGN.md §14):
+
+* **Time series** (:mod:`repro.obs.timeseries`) — a periodic sampler
+  scheduled on sim time recording per-port utilization/backlog/loss,
+  per-class admitted load, and MBAC estimator state.  Deterministic:
+  part of ``ScenarioResult`` and the cache.
+* **Spans** (:mod:`repro.obs.spans`) — per-flow admission audit spans
+  assembled from the trace after the fact; a pure view, nothing extra
+  is recorded.
+* **Merge** (:mod:`repro.obs.merge`) — deterministic k-way merge of
+  trace streams keyed ``(t, recorder, i)``, byte-preserving.
+
 Enable per scenario via ``ScenarioConfig(obs=ObsConfig(...))`` or the
-``repro-eac run --trace/--metrics`` flags; inspect dumps with
-``python -m repro.obs summarize|filter|diff``.
+``repro-eac run --trace/--metrics/--timeseries`` flags (and the sweep
+``--obs-dir`` export); inspect dumps with
+``python -m repro.obs summarize|filter|diff|spans|merge``.
 """
 
 from repro.obs.config import KNOWN_CATEGORIES, ObsConfig
+from repro.obs.export import MANIFEST_SCHEMA_VERSION, ObsDirWriter
+from repro.obs.merge import merge_files, merge_streams
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,16 +41,33 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import CallbackProfile
-from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceRecorder, parse_lines
+from repro.obs.spans import FlowSpan, assemble_spans, span_counts
+from repro.obs.timeseries import TIMESERIES_SCHEMA_VERSION, TimeSeriesSampler
+from repro.obs.trace import (
+    DEFAULT_RECORDER_ID,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    parse_lines,
+)
 
 __all__ = [
     "KNOWN_CATEGORIES",
     "ObsConfig",
+    "MANIFEST_SCHEMA_VERSION",
+    "ObsDirWriter",
+    "merge_files",
+    "merge_streams",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "CallbackProfile",
+    "FlowSpan",
+    "assemble_spans",
+    "span_counts",
+    "TIMESERIES_SCHEMA_VERSION",
+    "TimeSeriesSampler",
+    "DEFAULT_RECORDER_ID",
     "TRACE_SCHEMA_VERSION",
     "TraceRecorder",
     "parse_lines",

@@ -10,6 +10,7 @@ which is exactly what byte-identity guarantees require.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Set, Tuple
 
@@ -49,6 +50,17 @@ class ObsConfig:
     max_records:
         Hard cap on kept trace records; further emissions are counted but
         dropped, so a runaway category cannot exhaust memory.
+    timeseries:
+        Attach a :class:`~repro.obs.timeseries.TimeSeriesSampler` to the
+        run: a periodic sampler scheduled on *sim time* that snapshots
+        per-port utilization/backlog/loss, per-class admission state, and
+        MBAC estimator state into ``ScenarioResult.timeseries``.
+    timeseries_interval:
+        Sampling period in sim seconds (must be positive and finite).
+    timeseries_max_samples:
+        Hard cap on samples taken; once reached the sampler stops
+        rescheduling itself, so a long run cannot grow the series
+        unboundedly.
     """
 
     metrics: bool = True
@@ -56,11 +68,27 @@ class ObsConfig:
     categories: Tuple[str, ...] = ()
     sample_every: Tuple[Tuple[str, int], ...] = ()
     max_records: int = 200_000
+    timeseries: bool = False
+    timeseries_interval: float = 5.0
+    timeseries_max_samples: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_records < 0:
             raise ConfigurationError(
                 f"max_records must be >= 0, got {self.max_records}"
+            )
+        interval = self.timeseries_interval
+        if not isinstance(interval, (int, float)) or not math.isfinite(
+            interval
+        ) or interval <= 0:
+            raise ConfigurationError(
+                f"timeseries_interval must be a positive finite number, "
+                f"got {interval!r}"
+            )
+        if self.timeseries_max_samples < 1:
+            raise ConfigurationError(
+                f"timeseries_max_samples must be >= 1, "
+                f"got {self.timeseries_max_samples}"
             )
         seen: Set[str] = set()
         for pair in self.sample_every:
@@ -89,7 +117,7 @@ class ObsConfig:
     @property
     def enabled(self) -> bool:
         """True if this config turns anything on at all."""
-        return self.metrics or self.trace
+        return self.metrics or self.trace or self.timeseries
 
     def sampling(self) -> Dict[str, int]:
         """The ``sample_every`` pairs as a plain dict."""

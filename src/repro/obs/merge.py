@@ -1,0 +1,96 @@
+"""Deterministic k-way merge of trace streams.
+
+A sweep records one trace per run, each with its own recorder identity
+(envelope v2's ``"recorder"`` field) and its own per-recorder kept index
+``"i"``.  :func:`merge_streams` interleaves any number of such streams
+into one totally ordered stream keyed on ``(t, recorder, i)``:
+
+* ``t`` puts records in sim-time order across runs;
+* ``recorder`` breaks cross-run ties deterministically (lexicographic);
+* ``i`` preserves each recorder's emission order within a timestamp.
+
+The merge is **byte-preserving**: output lines are the input lines,
+reordered — never re-serialized — so byte-identity survives the merge
+and ``cmp`` on merged files is a valid determinism check.
+
+Each input stream must be internally ordered by ``(t, i)`` (true of any
+:class:`~repro.obs.trace.TraceRecorder` dump) and streams must not share
+a recorder identity — both are validated, because a silent violation
+would produce a plausible-looking but non-canonical merge.
+
+Exposed on the command line as ``python -m repro.obs merge``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+
+#: Sort key of one record: (t, recorder, i).
+MergeKey = Tuple[float, str, int]
+
+
+def _stream_entries(
+    lines: Sequence[str], stream_index: int, seen_recorders: Dict[str, int]
+) -> Iterator[Tuple[MergeKey, str]]:
+    """Yield ``(key, line)`` for one stream, validating as it goes."""
+    last_key: Optional[MergeKey] = None
+    stream_ids: Set[str] = set()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        recorder = record.get("recorder")
+        if not isinstance(recorder, str):
+            raise ReproError(
+                f"stream {stream_index}: record without a 'recorder' field "
+                f"(envelope v{record.get('v', '?')}); re-record with trace "
+                f"schema v2 or newer"
+            )
+        if recorder not in stream_ids:
+            stream_ids.add(recorder)
+            owner = seen_recorders.setdefault(recorder, stream_index)
+            if owner != stream_index:
+                raise ReproError(
+                    f"recorder id {recorder!r} appears in both stream "
+                    f"{owner} and stream {stream_index}; merge keys would "
+                    f"collide — give each run a distinct recorder identity"
+                )
+        key: MergeKey = (record["t"], recorder, record["i"])
+        if last_key is not None and key < last_key:
+            raise ReproError(
+                f"stream {stream_index} is not ordered by (t, i): "
+                f"{key} after {last_key}"
+            )
+        last_key = key
+        yield key, line
+
+
+def merge_streams(streams: Sequence[Sequence[str]]) -> List[str]:
+    """Merge trace streams into one ``(t, recorder, i)``-ordered stream.
+
+    ``streams`` is a sequence of line sequences (one per input file).
+    Returns the merged lines byte-for-byte.  Raises
+    :class:`~repro.errors.ReproError` on records missing the v2
+    ``recorder`` field, on a recorder identity shared by two streams,
+    and on an input stream that is not internally ordered.
+    """
+    seen_recorders: Dict[str, int] = {}
+    iterators = [
+        _stream_entries(lines, index, seen_recorders)
+        for index, lines in enumerate(streams)
+    ]
+    return [line for _key, line in heapq.merge(*iterators)]
+
+
+def merge_files(paths: Sequence[str]) -> List[str]:
+    """Read trace JSONL files and merge them (see :func:`merge_streams`)."""
+    streams: List[List[str]] = []
+    for path in paths:
+        with open(path, "r") as handle:
+            streams.append(handle.read().splitlines())
+    return merge_streams(streams)

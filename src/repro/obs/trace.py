@@ -22,10 +22,16 @@ from repro.obs.config import ObsConfig
 
 #: Version stamped into every record as ``"v"``.  Bump when the record
 #: envelope (reserved keys, their meaning) changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+#: v2 added ``"recorder"`` — the recorder identity that, together with
+#: the per-recorder kept index ``"i"``, gives merged streams a total
+#: order (see :mod:`repro.obs.merge`).
+TRACE_SCHEMA_VERSION = 2
 
 #: Keys owned by the envelope; ``emit`` fields must not collide.
-RESERVED_KEYS = ("v", "i", "t", "cat")
+RESERVED_KEYS = ("v", "i", "t", "cat", "recorder")
+
+#: Recorder identity used when none is given (single-recorder runs).
+DEFAULT_RECORDER_ID = "r0"
 
 
 class TraceRecorder:
@@ -36,14 +42,24 @@ class TraceRecorder:
     ports, the controller, the fault schedule, and the MBAC estimators —
     they all interleave into one stream ordered by emission, which under a
     deterministic engine *is* sim-time order (ties in scheduling order).
+
+    ``recorder_id`` names this recorder in every record's envelope.  It
+    must be distinct per run when streams are later merged: the merge key
+    is ``(t, recorder, i)``, and ``i`` is only unique *within* one
+    recorder.  The experiment runner derives it from the controller name
+    and seed, so every task of a sweep gets a distinct identity.
     """
 
-    __slots__ = ("categories", "max_records", "_sample", "_seen",
-                 "_records", "dropped")
+    __slots__ = ("categories", "max_records", "recorder_id", "_sample",
+                 "_seen", "_records", "dropped")
 
-    def __init__(self, config: ObsConfig) -> None:
+    def __init__(
+        self, config: ObsConfig, recorder_id: str = DEFAULT_RECORDER_ID
+    ) -> None:
         self.categories = frozenset(config.categories)
         self.max_records = config.max_records
+        #: Identity stamped into the envelope's ``"recorder"`` field.
+        self.recorder_id = recorder_id
         self._sample: Dict[str, int] = config.sampling()
         #: Per-category emission counts (pre-sampling).
         self._seen: Dict[str, int] = {}
@@ -87,16 +103,20 @@ class TraceRecorder:
     def lines(self) -> List[str]:
         """The kept records as canonical JSONL lines (no trailing newline).
 
-        Each line is ``{"cat": ..., "i": ..., "t": ..., "v": 1, ...}`` with
-        sorted keys and compact separators; ``i`` is the global kept-record
-        index, so a diff can name the first divergent record.  Floats
-        round-trip exactly through :func:`json.dumps` (shortest-repr), so
-        equal runs give equal bytes.
+        Each line is ``{"cat": ..., "i": ..., "recorder": ..., "t": ...,
+        "v": 2, ...}`` with sorted keys and compact separators; ``i`` is
+        this recorder's kept-record index, so a diff can name the first
+        divergent record and a merge (keyed ``(t, recorder, i)``) has a
+        total order.  Floats round-trip exactly through
+        :func:`json.dumps` (shortest-repr), so equal runs give equal
+        bytes.
         """
         out: List[str] = []
+        recorder_id = self.recorder_id
         for i, (category, t, fields) in enumerate(self._records):
             record: Dict[str, Any] = {
                 "v": TRACE_SCHEMA_VERSION, "i": i, "t": t, "cat": category,
+                "recorder": recorder_id,
             }
             for key, value in fields.items():
                 if key in RESERVED_KEYS:

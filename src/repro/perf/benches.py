@@ -15,7 +15,11 @@ exercises one layer of the fast path described in DESIGN.md §11:
 * ``scenario-basic-traced`` — the basic scenario with the ``repro.obs``
   trace recorder and metrics harvest attached, pinning the price of
   turning observability *on* (the off path is guarded by the
-  ``benchmarks/test_obs_overhead.py`` ratio bound instead).
+  ``benchmarks/test_obs_overhead.py`` ratio bound instead);
+* ``scenario-basic-timeseries`` — the basic scenario with only the
+  periodic time-series sampler attached, pinning the sampler's price in
+  isolation (its per-tick cost is a pure state read, so it should track
+  ``scenario-basic`` closely).
 
 Benchmarks build engines with ``strict=False`` explicitly: the production
 configuration whose speed the harness guards.
@@ -155,7 +159,7 @@ def bench_cancel_churn(name: str, rounds: int, scale: float) -> BenchResult:
 
 
 def _scenario_bench(
-    scenario: str, traced: bool = False
+    scenario: str, traced: bool = False, timeseries: bool = False
 ) -> Callable[[str, int, float], BenchResult]:
     def bench(name: str, rounds: int, scale: float) -> BenchResult:
         from dataclasses import replace
@@ -167,6 +171,11 @@ def _scenario_bench(
         config = get_scenario(scenario).config(scale=scale, seed=1)
         if traced:
             config = replace(config, obs=ObsConfig())
+        elif timeseries:
+            config = replace(config, obs=ObsConfig(
+                metrics=False, trace=False, timeseries=True,
+                timeseries_interval=1.0,
+            ))
 
         def body() -> object:
             return run_scenario(config, _DESIGN)
@@ -191,6 +200,7 @@ BENCHMARKS: Dict[str, Callable[[str, int, float], BenchResult]] = {
     "scenario-basic": _scenario_bench("basic"),
     "scenario-high-load-flaky": _scenario_bench("high-load-flaky"),
     "scenario-basic-traced": _scenario_bench("basic", traced=True),
+    "scenario-basic-timeseries": _scenario_bench("basic", timeseries=True),
 }
 
 __all__ = ["BENCHMARKS"]

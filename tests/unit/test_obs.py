@@ -113,6 +113,19 @@ class TestTraceRecorder:
                                   separators=(",", ":"))
         assert line.index('"alpha"') < line.index('"zebra"')
 
+    def test_envelope_v2_carries_recorder_identity(self):
+        rec = TraceRecorder(ObsConfig())
+        rec.emit("probe", 1.0, flow=1)
+        record = next(parse_lines(rec.lines()))
+        assert record["v"] == 2
+        assert record["recorder"] == "r0"
+
+        named = TraceRecorder(ObsConfig(), recorder_id="drop-in-band/s7")
+        named.emit("probe", 1.0, flow=1, recorder="shadow")
+        record = next(parse_lines(named.lines()))
+        assert record["recorder"] == "drop-in-band/s7"
+        assert record["x_recorder"] == "shadow"
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instrument(self):

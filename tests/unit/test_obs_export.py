@@ -1,0 +1,155 @@
+"""Sweep artifact export (``--obs-dir``) and merge validation contracts.
+
+The export guarantee: a serial sweep and a ``--jobs 4`` sweep of the
+same task list write byte-identical directories — artifacts and
+``manifest.json`` alike — because everything is keyed on the task index
+and serialized canonically with no wall-clock fields.  The merge
+guarantee: malformed inputs (pre-v2 records, shared recorder ids,
+unordered streams) fail loudly instead of producing a plausible but
+non-canonical stream.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.design import (
+    CongestionSignal,
+    EndpointDesign,
+    ProbeBand,
+    ProbingScheme,
+)
+from repro.errors import ReproError
+from repro.experiments import cache, parallel
+from repro.experiments.runner import ScenarioConfig
+from repro.obs import ObsConfig, ObsDirWriter, TraceRecorder
+from repro.obs.export import sanitize_name
+from repro.obs.merge import merge_streams
+from repro.units import mbps
+
+DESIGN = EndpointDesign(CongestionSignal.DROP, ProbeBand.IN_BAND,
+                        ProbingScheme.SLOW_START)
+
+OBS = ObsConfig(timeseries=True, timeseries_interval=10.0,
+                sample_every=(("tx", 200),))
+
+
+def fast_config(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(source="EXP1", interarrival=2.0, seed=seed,
+                          duration=60.0, warmup=20.0, lifetime_mean=20.0,
+                          link_rate_bps=mbps(2), obs=OBS)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    cache.set_cache_dir(None)
+    cache.clear_cache(disk=False)
+    parallel.set_obs_dir(None)
+    yield
+    cache.set_cache_dir(None)
+    cache.clear_cache(disk=False)
+    parallel.set_obs_dir(None)
+
+
+class TestSanitizeName:
+    def test_slug_rules(self):
+        assert sanitize_name("drop/in-band/slow-start") == \
+            "drop-in-band-slow-start"
+        assert sanitize_name("a  b//c") == "a-b-c"
+        assert sanitize_name("///") == "run"
+        assert sanitize_name("v1.2_ok") == "v1.2_ok"
+
+
+def _trace_lines(recorder_id, events):
+    rec = TraceRecorder(ObsConfig(), recorder_id=recorder_id)
+    for category, t, fields in events:
+        rec.emit(category, t, **fields)
+    return rec.lines()
+
+
+EVENTS = [("probe", 1.0, dict(event="start", flow=1)),
+          ("probe", 2.0, dict(event="admit", flow=1))]
+
+
+class TestMergeValidation:
+    def test_missing_recorder_rejected(self):
+        legacy = ['{"v":1,"i":0,"t":0.5,"cat":"probe"}']
+        with pytest.raises(ReproError, match="recorder"):
+            merge_streams([legacy])
+
+    def test_shared_recorder_rejected(self):
+        a = _trace_lines("same", EVENTS)
+        b = _trace_lines("same", EVENTS)
+        with pytest.raises(ReproError, match="both stream"):
+            merge_streams([a, b])
+
+    def test_unordered_stream_rejected(self):
+        lines = _trace_lines("r", EVENTS)
+        with pytest.raises(ReproError, match="not ordered"):
+            merge_streams([list(reversed(lines))])
+
+    def test_empty_and_single_stream(self):
+        assert merge_streams([]) == []
+        lines = _trace_lines("r", EVENTS)
+        assert merge_streams([lines]) == lines
+
+
+class TestObsDirWriter:
+    def test_writes_artifacts_and_manifest(self, tmp_path):
+        writer = ObsDirWriter(tmp_path)
+        trace = _trace_lines("run-a", EVENTS)
+        name = writer.write_run(0, "drop/in-band", 1, trace=trace,
+                                timeseries={"v": 1, "t": [0.0],
+                                            "series": {"x": [1.0]}})
+        assert name == "0000-drop-in-band-s1"
+        writer.write_run(1, "drop/in-band", 2, metrics={"counters": []})
+        manifest_path = writer.write_manifest()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["v"] == 1
+        assert [r["name"] for r in manifest["runs"]] == [
+            "0000-drop-in-band-s1", "0001-drop-in-band-s2"]
+        first = manifest["runs"][0]["files"]
+        assert set(first) == {"trace", "timeseries"}
+        assert first["trace"]["records"] == len(trace)
+        trace_file = tmp_path / first["trace"]["path"]
+        assert trace_file.read_text() == "\n".join(trace) + "\n"
+        assert set(manifest["runs"][1]["files"]) == {"metrics"}
+
+    def test_artifact_free_run_still_listed(self, tmp_path):
+        writer = ObsDirWriter(tmp_path)
+        writer.write_run(0, "c", 1)
+        manifest = json.loads(writer.write_manifest().read_text())
+        assert manifest["runs"][0]["files"] == {}
+
+
+class TestSweepExport:
+    def _sweep(self, directory, jobs):
+        parallel.set_obs_dir(str(directory))
+        try:
+            tasks = [(fast_config(seed), DESIGN) for seed in (1, 2)]
+            parallel.run_many(tasks, jobs=jobs)
+        finally:
+            parallel.set_obs_dir(None)
+
+    def test_serial_vs_jobs_byte_identical_dirs(self, tmp_path):
+        self._sweep(tmp_path / "serial", jobs=1)
+        cache.clear_cache(disk=False)
+        self._sweep(tmp_path / "pooled", jobs=2)
+        serial_files = sorted(p.name for p in (tmp_path / "serial").iterdir())
+        pooled_files = sorted(p.name for p in (tmp_path / "pooled").iterdir())
+        assert serial_files == pooled_files
+        assert "manifest.json" in serial_files
+        assert any(name.endswith(".trace.jsonl") for name in serial_files)
+        assert any(name.endswith(".timeseries.json") for name in serial_files)
+        for name in serial_files:
+            a = (tmp_path / "serial" / name).read_bytes()
+            b = (tmp_path / "pooled" / name).read_bytes()
+            assert a == b, f"{name} differs between serial and jobs=2"
+
+    def test_cache_hits_still_export(self, tmp_path):
+        # First sweep warms the memo; the second must still write files.
+        self._sweep(tmp_path / "warm", jobs=1)
+        self._sweep(tmp_path / "hit", jobs=1)
+        assert ((tmp_path / "warm" / "manifest.json").read_bytes()
+                == (tmp_path / "hit" / "manifest.json").read_bytes())
